@@ -1,0 +1,148 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not figures of the paper, but experiments that justify components:
+
+* hash partitioning (discussed in §1, excluded from the paper's plots)
+  really is dominated by range for this range-predicate workload;
+* MAGIC driven purely by its cost model (``magic-derived``) lands close
+  to the paper-pinned directory shapes -- equations 1-4 carry their
+  weight;
+* the balanced block assignment beats the naive block pattern on
+  per-processor load spread while preserving slice diversity;
+* the slice-swap rebalancer approaches the exhaustive optimum on grids
+  small enough to enumerate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GridDirectory,
+    balanced_block_assignment,
+    block_assignment,
+    load_spread,
+    optimal_assignment,
+    rebalance_assignment,
+)
+from repro.experiments import FIGURES, PAPER_INDEXES, build_strategy
+from repro.gamma import GammaMachine
+from repro.storage import make_wisconsin
+from repro.workload import make_mix
+
+from conftest import MEASURED
+
+
+def test_hash_dominated_by_range(benchmark):
+    """Hash broadcasts every range predicate: strictly worse here."""
+    def run():
+        relation = make_wisconsin(50_000, correlation="low", seed=13)
+        mix = make_mix("low-low", domain=50_000)
+        out = {}
+        for name in ("range", "hash"):
+            strategy = build_strategy(name, FIGURES["8a"], 50_000)
+            placement = strategy.partition(relation, 16)
+            machine = GammaMachine(placement, indexes=PAPER_INDEXES, seed=3)
+            out[name] = machine.run(mix, multiprogramming_level=16,
+                                    measured_queries=MEASURED).throughput
+        return out
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nrange={result['range']:.1f} q/s, hash={result['hash']:.1f} q/s")
+    assert result["range"] > result["hash"], \
+        "range localizes QA; hash broadcasts everything"
+
+
+def test_derived_magic_close_to_pinned(benchmark):
+    """The self-derived design stays within 25% of the paper-pinned one."""
+    def run():
+        relation = make_wisconsin(100_000, correlation="low", seed=13)
+        mix = make_mix("low-low")
+        out = {}
+        for name in ("magic", "magic-derived"):
+            strategy = build_strategy(name, FIGURES["8a"], 100_000)
+            placement = strategy.partition(relation, 32)
+            machine = GammaMachine(placement, indexes=PAPER_INDEXES, seed=3)
+            out[name] = machine.run(mix, multiprogramming_level=32,
+                                    measured_queries=MEASURED).throughput
+        return out
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = result["magic-derived"] / result["magic"]
+    print(f"\npinned={result['magic']:.1f} q/s, "
+          f"derived={result['magic-derived']:.1f} q/s (ratio {ratio:.2f})")
+    assert 0.75 <= ratio <= 1.35
+
+
+def test_balanced_assignment_reduces_entry_spread(benchmark):
+    """The surplus-block alternation evens entry counts on awkward shapes
+    (the 193x23 directory whose naive pattern double-loads 7 processors).
+    """
+    def run():
+        naive = block_assignment((193, 23), (2, 16), 32)
+        balanced = balanced_block_assignment((193, 23), (2, 16), 32)
+        spread = {}
+        for name, assign in (("naive", naive), ("balanced", balanced)):
+            counts = np.bincount(assign.ravel(), minlength=32)
+            spread[name] = int(counts.max() - counts.min())
+        return spread
+
+    spread = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nentry-count spread: naive={spread['naive']}, "
+          f"balanced={spread['balanced']}")
+    # Alternation donates half of each surplus block: spread roughly halves.
+    assert spread["balanced"] <= 0.6 * spread["naive"]
+
+
+def test_buffer_pool_vs_analytic_model(benchmark):
+    """The explicit LRU buffer pool vs. the index-residency assumption.
+
+    With a pool large enough to hold each site's index structures but
+    not its data, throughput should land near the analytic model's; a
+    generous pool (data fits too) exceeds it; a starved pool falls
+    below.  This bounds the modeling error of the default assumption.
+    """
+    from repro.gamma import GAMMA_PARAMETERS
+
+    def run():
+        relation = make_wisconsin(100_000, correlation="low", seed=13)
+        strategy = build_strategy("magic", FIGURES["8a"], 100_000)
+        placement = strategy.partition(relation, 32)
+        mix = make_mix("low-low")
+        out = {}
+        for label, pool in (("analytic", None), ("pool-24", 24),
+                            ("pool-2048", 2048)):
+            params = GAMMA_PARAMETERS.with_overrides(
+                buffer_pool_pages=pool)
+            machine = GammaMachine(placement, indexes=PAPER_INDEXES,
+                                   params=params, seed=3)
+            out[label] = machine.run(mix, multiprogramming_level=32,
+                                     measured_queries=MEASURED).throughput
+        return out
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + ", ".join(f"{k}={v:.0f} q/s" for k, v in result.items()))
+    # Index-sized pool brackets the analytic assumption from below,
+    # a data-sized pool from above.
+    assert result["pool-24"] <= result["analytic"] * 1.2
+    assert result["pool-2048"] >= result["pool-24"]
+
+
+def test_rebalancer_vs_exhaustive_optimum(benchmark):
+    """On an enumerable grid the heuristic matches the optimal spread."""
+    rng = np.random.default_rng(5)
+    counts = rng.integers(0, 40, size=(3, 3))
+
+    def run():
+        optimal = optimal_assignment(counts, 3)
+        opt_weights = np.bincount(optimal.ravel(), weights=counts.ravel(),
+                                  minlength=3).astype(np.int64)
+        directory = GridDirectory(
+            ["a", "b"], [np.array([10, 20]), np.array([10, 20])],
+            counts, balanced_block_assignment((3, 3), (2, 2), 3))
+        rebalance_assignment(directory, 3, max_iterations=100)
+        heur_weights = directory.tuples_per_site(3)
+        return load_spread(opt_weights), load_spread(heur_weights)
+
+    opt, heur = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nspread: optimal={opt}, heuristic={heur}")
+    assert heur <= 3 * max(opt, 10)

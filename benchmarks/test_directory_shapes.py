@@ -1,0 +1,91 @@
+"""The §7 in-text numbers: directory shapes and processor counts.
+
+Regenerates, for each query mix, the average number of processors each
+strategy directs each query type to -- the numbers the paper quotes in
+the running text of §7 (e.g. low-low: MAGIC 6.39 average with QB on 8
+processors, range 16.5, BERD ~6; low-moderate: MAGIC QA -> 2, QB -> 16).
+"""
+
+import pytest
+
+from repro.experiments import FIGURES, average_processors_table
+
+from conftest import CARDINALITY, PROCESSORS
+
+
+def table_for(figure):
+    return average_processors_table(FIGURES[figure],
+                                    cardinality=CARDINALITY,
+                                    num_sites=PROCESSORS, samples=300,
+                                    seed=13)
+
+
+def print_table(figure, table):
+    print()
+    print(f"Figure {figure} processor counts:")
+    for strategy, stats in table.items():
+        parts = ", ".join(f"{k}={v:.2f}" for k, v in stats.items())
+        print(f"  {strategy:8s} {parts}")
+
+
+def test_low_low_processor_counts(benchmark):
+    """§7.1: MAGIC ~6.39 avg (QB on 8), range 16.5, BERD ~6."""
+    table = benchmark.pedantic(table_for, args=("8a",), rounds=1,
+                               iterations=1)
+    print_table("8a", table)
+    assert table["range"]["QA"] == pytest.approx(1.0, abs=0.1)
+    assert table["range"]["QB"] == pytest.approx(32.0, abs=0.1)
+    assert table["range"]["average"] == pytest.approx(16.5, abs=0.5)
+    assert 7 <= table["magic"]["QB"] <= 9          # paper: 8
+    assert 4.5 <= table["magic"]["average"] <= 8   # paper: 6.39
+    assert 5 <= table["berd"]["average"] <= 7.5    # paper: ~6
+
+
+def test_low_moderate_processor_counts(benchmark):
+    """§7.2: MAGIC directs QA to two and QB to sixteen processors;
+    BERD and range send QB to all 32."""
+    table = benchmark.pedantic(table_for, args=("10a",), rounds=1,
+                               iterations=1)
+    print_table("10a", table)
+    # Paper: 2.  The balanced assignment's surplus-block alternation
+    # raises a few slices to 4 distinct processors (avg ~2.7) in exchange
+    # for even loads -- see DESIGN.md.
+    assert 1.5 <= table["magic"]["QA"] <= 3.0
+    assert 14 <= table["magic"]["QB"] <= 20        # paper: 16
+    assert table["berd"]["QB"] >= 30               # scattered tuples
+    assert table["range"]["QB"] == pytest.approx(32.0, abs=0.1)
+
+
+def test_moderate_low_processor_counts(benchmark):
+    """§7.3: transposed -- QB to two, QA to sixteen; BERD's QB <= 11."""
+    table = benchmark.pedantic(table_for, args=("11a",), rounds=1,
+                               iterations=1)
+    print_table("11a", table)
+    assert 14 <= table["magic"]["QA"] <= 20        # paper: 16
+    assert table["magic"]["QB"] <= 4               # paper: 2
+    assert table["berd"]["QB"] <= 11.5             # paper: at most 11
+
+
+def test_moderate_moderate_processor_counts(benchmark):
+    """§7.4: MAGIC ~6.5 average; BERD and range 16.5."""
+    table = benchmark.pedantic(table_for, args=("12a",), rounds=1,
+                               iterations=1)
+    print_table("12a", table)
+    assert 5 <= table["magic"]["average"] <= 8.5   # paper: 6.5
+    assert table["range"]["average"] == pytest.approx(16.5, abs=0.5)
+
+
+def test_high_correlation_localizes_all(benchmark):
+    """§7's high-correlation claim: every query on ~1 processor."""
+    def both():
+        return {fig: average_processors_table(
+                    FIGURES[fig], cardinality=CARDINALITY,
+                    num_sites=PROCESSORS, samples=200, seed=13)
+                for fig in ("8b", "12b")}
+
+    tables = benchmark.pedantic(both, rounds=1, iterations=1)
+    for fig, table in tables.items():
+        print_table(fig, table)
+        assert table["magic"]["average"] <= 3.0
+        # BERD's QB counts the probe site too.
+        assert table["berd"]["QB"] <= 3.0

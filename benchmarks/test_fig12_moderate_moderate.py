@@ -1,0 +1,41 @@
+"""Figure 12: throughput vs MPL for the Moderate-Moderate query mix.
+
+Paper findings reproduced here:
+
+* 12a (low correlation): MAGIC's 101x91 directory uses ~6.5 processors
+  per query where both range and BERD average 16.5 (QA to one, QB to
+  all 32); MAGIC wins, BERD additionally pays the auxiliary access.
+* 12b (high correlation): range wins at MPL 1 (it spreads one query's
+  CPU over many processors); at MPL 64 MAGIC outperforms BERD (paper:
+  ~25%) because it never searches the auxiliary relation -- which for
+  the 300-tuple QB is a real scan, not a point probe.
+"""
+
+from conftest import regenerate
+
+
+def test_figure_12a_low_correlation(benchmark):
+    result = regenerate("12a", benchmark)
+    finals = result.final_throughputs()
+    assert finals["magic"] > finals["range"], \
+        "paper: MAGIC on top in the moderate-moderate mix"
+    assert finals["magic"] > finals["berd"]
+    assert finals["range"] >= finals["berd"], \
+        "paper: BERD at or below range (auxiliary overhead)"
+
+
+def test_figure_12b_high_correlation(benchmark):
+    result = regenerate("12b", benchmark)
+    finals = result.final_throughputs()
+    assert finals["magic"] > 1.02 * finals["berd"], \
+        "paper: MAGIC ~25% over BERD at MPL 64"
+    assert finals["berd"] > finals["range"]
+    # Paper: range wins at MPL 1 (it parallelizes the single query).
+    # In our model MAGIC also parallelizes a little (2-3 sites), so the
+    # two land within a few percent -- assert the near-tie rather than a
+    # strict win (documented in EXPERIMENTS.md as "MPL-1 tie").
+    first = {s: runs[0].throughput for s, runs in result.series.items()}
+    assert first["range"] >= 0.9 * first["magic"], \
+        "paper: range competitive with both at multiprogramming level one"
+    assert first["range"] >= first["berd"], \
+        "paper: range above BERD at multiprogramming level one"

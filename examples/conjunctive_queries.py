@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Extension: conjunctive predicates on several partitioning attributes.
+
+The paper's workload constrains one attribute per query, but a grid
+directory can do more: a conjunction that constrains *both* dimensions
+maps to the intersection of two bands -- usually a single grid entry,
+hence a single processor.  Single-attribute declustering can exploit at
+most one of the conjuncts.
+
+This example routes two-dimensional "window" queries (e.g. salary range
+AND age range, the paper's §4 example) under every strategy and counts
+the processors involved.
+
+Run:  python examples/conjunctive_queries.py
+"""
+
+import random
+
+import numpy as np
+
+from repro.core import (
+    BerdStrategy,
+    MagicStrategy,
+    MagicTuning,
+    RangePredicate,
+    RangeStrategy,
+)
+from repro.storage import make_wisconsin
+
+PROCESSORS = 32
+CARDINALITY = 100_000
+WINDOW = 1_000  # each conjunct selects 1% of its attribute's domain
+
+
+def main():
+    relation = make_wisconsin(CARDINALITY, correlation="low", seed=8)
+    placements = {
+        "range": RangeStrategy("unique1").partition(relation, PROCESSORS),
+        "berd": BerdStrategy("unique1", ["unique2"]).partition(
+            relation, PROCESSORS),
+        "magic": MagicStrategy(
+            ["unique1", "unique2"],
+            tuning=MagicTuning(shape={"unique1": 62, "unique2": 61},
+                               mi={"unique1": 4.0, "unique2": 8.0}),
+        ).partition(relation, PROCESSORS),
+    }
+
+    scenarios = {
+        # (width on unique1, width on unique2)
+        "wide A (20%), narrow B (0.1%)": (20_000, 100),
+        "narrow A (0.1%), wide B (20%)": (100, 20_000),
+        "medium both (5%)": (5_000, 5_000),
+    }
+
+    rng = random.Random(0)
+    for label, (width_a, width_b) in scenarios.items():
+        queries = []
+        for _ in range(200):
+            a = rng.randrange(CARDINALITY - width_a)
+            b = rng.randrange(CARDINALITY - width_b)
+            queries.append([
+                RangePredicate("unique1", a, a + width_a - 1),
+                RangePredicate("unique2", b, b + width_b - 1),
+            ])
+        print(f"--- {label} ---")
+        print(f"{'strategy':10s} {'avg processors':>15} {'max':>5}")
+        for name, placement in placements.items():
+            widths = [placement.route_conjunction(preds).site_count
+                      for preds in queries]
+            print(f"{name:10s} {np.mean(widths):15.2f} {max(widths):5d}")
+        print()
+
+        # Soundness: routed sites hold every qualifying tuple.
+        magic = placements["magic"]
+        for preds in queries[:20]:
+            counts = magic.qualifying_counts_all(preds)
+            routed = set(magic.route_conjunction(preds).target_sites)
+            assert all(int(s) in routed for s in np.nonzero(counts)[0])
+
+    print("Reading the numbers: range wins outright only when the "
+          "*selective* conjunct\nfalls on its own partitioning "
+          "attribute (second scenario).  When the selective\nconjunct "
+          "is on the other attribute (first scenario), range and BERD "
+          "fan out\nwith the wide band while MAGIC intersects both "
+          "bands -- the paper's single-\nattribute argument, "
+          "generalized to conjunctions.  MAGIC is the only strategy\n"
+          "whose processor count tracks the *intersection*, never a "
+          "single conjunct.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Paper §4: the impact of correlated partitioning attribute values.
+
+Sweeps the rank correlation between the two partitioning attributes from
+independent (0.0) to identical (1.0) and shows, for MAGIC and BERD,
+
+* how many processors each query type touches (queries localize as the
+  correlation rises -- §4's "mixed blessing", good side);
+* how skewed MAGIC's tuple placement becomes before the hill-climbing
+  slice-swap heuristic, and how well the heuristic repairs it (the bad
+  side, including the paper's identical-values worst case).
+
+Run:  python examples/correlation_study.py
+"""
+
+import random
+
+import numpy as np
+
+from repro.core import (
+    BerdStrategy,
+    MagicStrategy,
+    MagicTuning,
+    RangePredicate,
+    load_spread,
+)
+from repro.storage import make_wisconsin, measured_rank_correlation
+
+PROCESSORS = 16
+CARDINALITY = 40_000
+
+
+def average_sites(placement, attribute, width, samples=150, seed=0):
+    rng = random.Random(seed)
+    counts = []
+    for _ in range(samples):
+        low = rng.randrange(CARDINALITY - width)
+        decision = placement.route(
+            RangePredicate(attribute, low, low + width - 1))
+        counts.append(decision.site_count)
+    return float(np.mean(counts))
+
+
+def magic_strategy():
+    return MagicStrategy(
+        ["unique1", "unique2"],
+        tuning=MagicTuning(shape={"unique1": 40, "unique2": 40},
+                           mi={"unique1": 4.0, "unique2": 4.0}))
+
+
+def localization_sweep():
+    print("=== Query localization vs. attribute correlation ===")
+    print(f"{'target rho':>10} {'measured':>9} "
+          f"{'MAGIC QA':>9} {'MAGIC QB':>9} {'BERD QB':>9}")
+    for rho in (0.0, 0.5, 0.9, 0.99, 1.0):
+        relation = make_wisconsin(CARDINALITY, correlation=rho, seed=3)
+        measured = measured_rank_correlation(relation.column("unique1"),
+                                             relation.column("unique2"))
+        magic = magic_strategy().partition(relation, PROCESSORS)
+        berd = BerdStrategy("unique1", ["unique2"]).partition(
+            relation, PROCESSORS)
+        print(f"{rho:10.2f} {measured:9.3f} "
+              f"{average_sites(magic, 'unique1', 30):9.2f} "
+              f"{average_sites(magic, 'unique2', 10):9.2f} "
+              f"{average_sites(berd, 'unique2', 10):9.2f}")
+    print("\nAs correlation rises, both multi-attribute strategies "
+          "localize each query\nto one or two processors (the paper's "
+          "Figures 8b/10b/11b/12b behaviour).\n")
+
+
+def rebalancing_worst_case():
+    print("=== §4 worst case: identical attribute values ===")
+    relation = make_wisconsin(CARDINALITY, correlation="identical", seed=4)
+    strategy = magic_strategy()
+
+    # Build without any rebalancing to expose the skew...
+    raw = MagicStrategy(
+        ["unique1", "unique2"],
+        tuning=MagicTuning(shape={"unique1": 40, "unique2": 40},
+                           mi={"unique1": 4.0, "unique2": 4.0},
+                           rebalance_iterations=0,
+                           entry_exchange_slack=None))
+    skewed = raw.partition(relation, PROCESSORS)
+    weights_before = skewed.directory.tuples_per_site(PROCESSORS)
+
+    # ...then with the hill-climbing slice-swap heuristic.
+    balanced = strategy.partition(relation, PROCESSORS)
+    weights_after = balanced.directory.tuples_per_site(PROCESSORS)
+
+    print(f"without heuristic: {int((weights_before == 0).sum())} empty "
+          f"processors, load spread {load_spread(weights_before)}")
+    print(f"with heuristic:    {int((weights_after == 0).sum())} empty "
+          f"processors, load spread {load_spread(weights_after)}")
+    print("(paper: 12 of 32 processors empty before, ~20% spread after)")
+
+
+if __name__ == "__main__":
+    localization_sweep()
+    rebalancing_worst_case()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""MAGIC as a physical-design advisor: the fully derived pipeline.
+
+The paper's §3 describes MAGIC as a tool the database administrator
+feeds with query resource profiles; everything else -- the ideal degree
+of parallelism M, the per-attribute processor counts M_i, the fragment
+cardinality FC and the grid-directory shape -- is computed.  This
+example runs that pipeline end to end for each of the paper's four
+query mixes, prints the derived design, and then *measures* the derived
+design against the paper-pinned one on the simulator.
+
+Run:  python examples/design_advisor.py
+"""
+
+from repro import GammaMachine, make_mix, make_wisconsin
+from repro.experiments import FIGURES, PAPER_INDEXES, build_strategy
+from repro.gamma import GAMMA_PARAMETERS
+from repro.workload import cost_model_for_mix
+
+PROCESSORS = 16
+CARDINALITY = 50_000
+
+
+def derived_designs():
+    print("=== Cost-model-derived designs (equations 1-4) ===")
+    print(f"{'mix':20s} {'M':>6} {'FC':>5} {'M_A':>6} {'M_B':>6} "
+          f"{'shape':>12}")
+    for mix_name in ("low-low", "low-moderate", "moderate-low",
+                     "moderate-moderate"):
+        mix = make_mix(mix_name, domain=CARDINALITY)
+        model = cost_model_for_mix(mix, GAMMA_PARAMETERS, CARDINALITY)
+        shape = model.directory_shape()
+        print(f"{mix_name:20s} {model.ideal_m():6.2f} "
+              f"{model.fragment_cardinality():5d} "
+              f"{model.ideal_mi('unique1'):6.2f} "
+              f"{model.ideal_mi('unique2'):6.2f} "
+              f"{shape['unique1']:5d}x{shape['unique2']:<5d}")
+    print()
+
+
+def derived_vs_pinned():
+    print("=== Derived vs. paper-pinned MAGIC, low-low mix ===")
+    config = FIGURES["8a"]
+    relation = make_wisconsin(CARDINALITY, correlation="low", seed=11)
+    mix = make_mix("low-low", domain=CARDINALITY)
+
+    results = {}
+    for variant in ("magic", "magic-derived"):
+        strategy = build_strategy(variant, config, CARDINALITY)
+        placement = strategy.partition(relation, PROCESSORS)
+        machine = GammaMachine(placement, indexes=PAPER_INDEXES, seed=2)
+        run = machine.run(mix, multiprogramming_level=16,
+                          measured_queries=200)
+        results[variant] = run
+        print(f"{variant:15s} directory {placement.directory.shape}: "
+              f"{run.throughput:7.1f} q/s "
+              f"(rt {run.response_time_mean * 1000:.0f} ms)")
+
+    gap = (results["magic-derived"].throughput
+           / results["magic"].throughput - 1) * 100
+    print(f"\nself-derived design within {gap:+.1f}% of the paper-pinned "
+          "one -- the cost model\nalone recovers a competitive design, "
+          "which is MAGIC's whole point.")
+
+
+if __name__ == "__main__":
+    derived_designs()
+    derived_vs_pinned()

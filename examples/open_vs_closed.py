@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Extension: open (Poisson) vs. closed (MPL) workload drivers.
+
+The paper drives its experiments with a closed system -- a fixed
+multiprogramming level of terminals, each submitting its next query on
+completion.  Real front-ends often look *open*: queries arrive at an
+exogenous rate whether or not earlier ones finished.  This example runs
+the same MAGIC configuration under both drivers and shows
+
+* the closed system's throughput saturating as MPL grows, while
+  response time keeps climbing (the paper's x-axis);
+* the open system's response time exploding as the arrival rate
+  approaches the saturation throughput found by the closed runs -- the
+  classic knee every queueing system exhibits.
+
+Run:  python examples/open_vs_closed.py
+"""
+
+from repro import GammaMachine, MagicStrategy, MagicTuning, make_mix, make_wisconsin
+from repro.gamma import OpenArrivalSource
+
+PROCESSORS = 16
+CARDINALITY = 50_000
+INDEXES = {"unique1": False, "unique2": True}
+
+
+def build_placement():
+    relation = make_wisconsin(CARDINALITY, correlation="low", seed=9)
+    strategy = MagicStrategy(
+        ["unique1", "unique2"],
+        tuning=MagicTuning(shape={"unique1": 44, "unique2": 43},
+                           mi={"unique1": 3.0, "unique2": 5.0}))
+    return strategy.partition(relation, PROCESSORS)
+
+
+def closed_sweep(placement, mix):
+    print("=== Closed system (the paper's driver) ===")
+    print(f"{'MPL':>5} {'throughput q/s':>15} {'response ms':>12}")
+    saturation = 0.0
+    for mpl in (1, 4, 16, 32, 64):
+        machine = GammaMachine(placement, indexes=INDEXES, seed=5)
+        result = machine.run(mix, multiprogramming_level=mpl,
+                             measured_queries=200)
+        saturation = max(saturation, result.throughput)
+        print(f"{mpl:5d} {result.throughput:15.1f} "
+              f"{result.response_time_mean * 1000:12.1f}")
+    print(f"\nsaturation throughput ~ {saturation:.0f} q/s\n")
+    return saturation
+
+
+def open_sweep(placement, mix, saturation):
+    print("=== Open system (Poisson arrivals) ===")
+    print(f"{'load':>6} {'arrivals/s':>11} {'response ms':>12}")
+    for load in (0.3, 0.6, 0.9):
+        rate = load * saturation
+        machine = GammaMachine(placement, indexes=INDEXES, seed=5)
+        driver = OpenArrivalSource(machine.env, machine.scheduler, mix,
+                                   machine.metrics,
+                                   arrivals_per_second=rate, seed=6)
+        driver.start()
+        machine.env.run(
+            until=machine.metrics.on_completion_count(400))
+        print(f"{load:6.1f} {rate:11.1f} "
+              f"{machine.metrics.mean_response_time() * 1000:12.1f}")
+    print("\nResponse time is flat at low load and explodes near the "
+          "closed system's\nsaturation point -- the two drivers agree "
+          "on where the capacity wall is.")
+
+
+def main():
+    placement = build_placement()
+    mix = make_mix("low-low", domain=CARDINALITY)
+    saturation = closed_sweep(placement, mix)
+    open_sweep(placement, mix, saturation)
+
+
+if __name__ == "__main__":
+    main()

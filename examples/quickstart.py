@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: compare the three declustering strategies on one workload.
+
+Builds the paper's database (a Wisconsin benchmark relation), declusters
+it with range partitioning, BERD and MAGIC, runs the low-low multiuser
+workload on the simulated Gamma machine, and prints a throughput
+comparison -- a miniature of the paper's Figure 8a.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GammaMachine, MagicStrategy, MagicTuning, make_mix, make_wisconsin
+from repro.core import BerdStrategy, RangeStrategy
+
+# A smaller configuration than the paper's (16 processors, 50k tuples)
+# so the example finishes in a few seconds.
+PROCESSORS = 16
+CARDINALITY = 50_000
+INDEXES = {"unique1": False, "unique2": True}   # §6: non-clustered on A,
+                                                # clustered on B
+
+
+def main():
+    print("Generating the Wisconsin benchmark relation "
+          f"({CARDINALITY} tuples, low correlation)...")
+    relation = make_wisconsin(CARDINALITY, correlation="low", seed=42)
+    mix = make_mix("low-low", domain=CARDINALITY)
+
+    strategies = {
+        "range": RangeStrategy("unique1"),
+        "berd": BerdStrategy("unique1", ["unique2"]),
+        "magic": MagicStrategy(
+            ["unique1", "unique2"],
+            tuning=MagicTuning(shape={"unique1": 44, "unique2": 43},
+                               mi={"unique1": 3.0, "unique2": 5.0})),
+    }
+
+    print(f"\n{'strategy':10s} {'placement':45s}")
+    placements = {}
+    for name, strategy in strategies.items():
+        placement = strategy.partition(relation, PROCESSORS)
+        placements[name] = placement
+        print(f"{name:10s} {placement.describe()[:70]}")
+
+    print(f"\nThroughput (queries/second), low-low mix, "
+          f"{PROCESSORS} processors:")
+    header = f"{'MPL':>5}" + "".join(f"{name:>10}" for name in strategies)
+    print(header)
+    print("-" * len(header))
+    for mpl in (1, 4, 16, 32):
+        row = f"{mpl:5d}"
+        for name, placement in placements.items():
+            machine = GammaMachine(placement, indexes=INDEXES, seed=7)
+            result = machine.run(mix, multiprogramming_level=mpl,
+                                 measured_queries=150)
+            row += f"{result.throughput:10.1f}"
+        print(row)
+
+    print("\nAs in the paper: the multi-attribute strategies localize both "
+          "query types\nand pull far ahead of range partitioning once "
+          "concurrency is available;\nMAGIC avoids BERD's auxiliary-index "
+          "probe and finishes on top.")
+
+
+if __name__ == "__main__":
+    main()

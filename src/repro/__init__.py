@@ -1,0 +1,80 @@
+"""repro: a full reproduction of "A Performance Analysis of Alternative
+Multi-Attribute Declustering Strategies" (Ghandeharizadeh, DeWitt,
+Qureshi; SIGMOD 1992).
+
+The package implements, from scratch:
+
+* the three declustering strategies the paper compares -- **MAGIC**
+  (multi-attribute grid declustering, the paper's contribution),
+  **BERD** (Bubba's extended range declustering) and single-attribute
+  **range** partitioning (plus hash as an ablation baseline) -- in
+  :mod:`repro.core`;
+* every substrate they need: a discrete-event simulation kernel
+  (:mod:`repro.des`), a storage layer with the Wisconsin benchmark
+  relation, page layout and B+-tree cost models (:mod:`repro.storage`),
+  and a component-level simulator of the Gamma database machine
+  parameterized by the paper's Table 2 (:mod:`repro.gamma`);
+* the paper's multiuser workload (:mod:`repro.workload`) and an
+  experiment harness regenerating every figure
+  (:mod:`repro.experiments`).
+
+Quick start::
+
+    from repro import (
+        make_wisconsin, MagicStrategy, MagicTuning, GammaMachine, make_mix,
+    )
+
+    relation = make_wisconsin(100_000, correlation="low")
+    strategy = MagicStrategy(
+        ["unique1", "unique2"],
+        tuning=MagicTuning(shape={"unique1": 62, "unique2": 61},
+                           mi={"unique1": 4.0, "unique2": 8.0}))
+    placement = strategy.partition(relation, 32)
+    machine = GammaMachine(placement,
+                           indexes={"unique1": False, "unique2": True})
+    result = machine.run(make_mix("low-low"), multiprogramming_level=16)
+    print(result.throughput, "queries/second")
+"""
+
+from .core import (
+    BerdStrategy,
+    DeclusteringStrategy,
+    GridDirectory,
+    HashStrategy,
+    MagicCostModel,
+    MagicStrategy,
+    MagicTuning,
+    Placement,
+    QueryProfile,
+    RangePredicate,
+    RangeStrategy,
+    RoutingDecision,
+)
+from .gamma import GAMMA_PARAMETERS, GammaMachine, RunResult, SimulationParameters
+from .storage import make_wisconsin
+from .workload import cost_model_for_mix, make_mix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DeclusteringStrategy",
+    "Placement",
+    "RangePredicate",
+    "RoutingDecision",
+    "RangeStrategy",
+    "HashStrategy",
+    "BerdStrategy",
+    "MagicStrategy",
+    "MagicTuning",
+    "MagicCostModel",
+    "QueryProfile",
+    "GridDirectory",
+    "GammaMachine",
+    "SimulationParameters",
+    "GAMMA_PARAMETERS",
+    "RunResult",
+    "make_wisconsin",
+    "make_mix",
+    "cost_model_for_mix",
+]

@@ -1,0 +1,84 @@
+"""The paper's contribution: declustering strategies and MAGIC machinery.
+
+Public surface:
+
+* :class:`~repro.core.strategy.DeclusteringStrategy` /
+  :class:`~repro.core.strategy.Placement` /
+  :class:`~repro.core.strategy.RangePredicate` -- the strategy contract;
+* :class:`~repro.core.range_partition.RangeStrategy` -- single-attribute
+  range declustering (baseline);
+* :class:`~repro.core.hash_partition.HashStrategy` -- hash declustering
+  (ablation baseline from the introduction);
+* :class:`~repro.core.berd.BerdStrategy` -- Bubba's extended range
+  declustering with auxiliary indices;
+* :class:`~repro.core.magic.MagicStrategy` -- multi-attribute grid
+  declustering, with its cost model, grid-file builder, assignment
+  heuristics and slice-swap rebalancer.
+"""
+
+from .assignment import (
+    assign_entries,
+    balanced_block_assignment,
+    block_assignment,
+    factor_slice_targets,
+    optimal_assignment,
+    pattern_moduli,
+    round_robin_assignment,
+    scale_slice_targets,
+)
+from .berd import AuxiliaryIndex, BerdPlacement, BerdStrategy
+from .cost_model import AverageQuery, MagicCostModel, QueryProfile
+from .directory import GridDirectory
+from .gridfile import build_equal_width, build_from_shape, build_gridfile
+from .hash_partition import HashPlacement, HashStrategy
+from .magic import MagicPlacement, MagicStrategy, MagicTuning
+from .range_partition import RangePlacement, RangeStrategy
+from .rebalance import entry_exchange, load_spread, rebalance_assignment
+from .verify import PlacementReport, verify_placement
+from .strategy import (
+    DeclusteringStrategy,
+    Placement,
+    RangePredicate,
+    RoutingDecision,
+    equal_depth_boundaries,
+    sites_for_interval,
+)
+
+__all__ = [
+    "DeclusteringStrategy",
+    "Placement",
+    "RangePredicate",
+    "RoutingDecision",
+    "equal_depth_boundaries",
+    "sites_for_interval",
+    "RangeStrategy",
+    "RangePlacement",
+    "HashStrategy",
+    "HashPlacement",
+    "BerdStrategy",
+    "BerdPlacement",
+    "AuxiliaryIndex",
+    "MagicStrategy",
+    "MagicPlacement",
+    "MagicTuning",
+    "MagicCostModel",
+    "QueryProfile",
+    "AverageQuery",
+    "GridDirectory",
+    "build_from_shape",
+    "build_equal_width",
+    "build_gridfile",
+    "assign_entries",
+    "block_assignment",
+    "balanced_block_assignment",
+    "round_robin_assignment",
+    "scale_slice_targets",
+    "factor_slice_targets",
+    "pattern_moduli",
+    "optimal_assignment",
+    "rebalance_assignment",
+    "entry_exchange",
+    "verify_placement",
+    "PlacementReport",
+    "load_spread",
+]

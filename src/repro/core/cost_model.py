@@ -1,0 +1,247 @@
+"""MAGIC's cost model: equations 1-4 of paper §3.2-§3.3.
+
+Given the workload description (per query type: CPU, disk and network
+processing time, tuples retrieved, frequency of execution), MAGIC derives
+
+* ``QAve`` -- the frequency-weighted average query (§3.2);
+* ``M``   -- the number of processors minimizing the average query's
+  response time ``RT(M)`` (equation 1), obtained in closed form by
+  setting dRT/dM = 0 (equation 2);
+* ``FC``  -- the fragment cardinality ensuring QAve's predicate covers
+  M fragments: ``FC = TuplesPerQAve / (M - 1)``, or ``/ M`` when
+  ``M < 1`` (footnote 4);
+* ``M_i`` -- the ideal number of processors for queries referencing
+  attribute *i* (equation 3), used to steer the grid-directory split
+  strategy and the entry-to-processor assignment;
+* ``Fraction_Splits_i`` -- the relative split frequency of each grid
+  dimension (equation 4).
+
+The two calibration constants are ``CP`` (cost of participation: the
+scheduling/commit overhead of adding one processor to a query, which
+grows linearly with the processor count, as in Gamma) and ``CS`` (cost of
+searching one entry of the grid directory; a linear search inspects half
+the entries on average).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+__all__ = ["QueryProfile", "AverageQuery", "MagicCostModel"]
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """Resource profile of one query type, as the DBA specifies to MAGIC.
+
+    Times are in seconds of the respective device; ``frequency`` is the
+    query's share of the workload (the set of profiles is normalized, so
+    any positive weights work); ``attribute`` names the partitioning
+    attribute the query's predicate references.
+    """
+
+    name: str
+    attribute: str
+    tuples: float
+    cpu_seconds: float
+    disk_seconds: float
+    net_seconds: float
+    frequency: float
+
+    def __post_init__(self):
+        if self.tuples <= 0:
+            raise ValueError(f"{self.name}: tuples must be positive")
+        if self.frequency <= 0:
+            raise ValueError(f"{self.name}: frequency must be positive")
+        for field in ("cpu_seconds", "disk_seconds", "net_seconds"):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{self.name}: {field} must be >= 0")
+
+    @property
+    def total_seconds(self) -> float:
+        """CPU + disk + network demand of one execution."""
+        return self.cpu_seconds + self.disk_seconds + self.net_seconds
+
+
+@dataclass(frozen=True)
+class AverageQuery:
+    """QAve: the frequency-weighted average of the workload's queries."""
+
+    tuples: float
+    cpu_seconds: float
+    disk_seconds: float
+    net_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.cpu_seconds + self.disk_seconds + self.net_seconds
+
+
+class MagicCostModel:
+    """Implements equations 1-4 for a workload of :class:`QueryProfile`.
+
+    Parameters
+    ----------
+    profiles:
+        The workload's query types.
+    cost_of_participation:
+        CP, seconds of overhead per additional processor employed.
+    directory_search_cost:
+        CS, seconds to inspect one grid-directory entry.
+    relation_cardinality:
+        Cardinality of the relation being declustered.
+    """
+
+    def __init__(self, profiles: Sequence[QueryProfile],
+                 cost_of_participation: float,
+                 directory_search_cost: float,
+                 relation_cardinality: int):
+        if not profiles:
+            raise ValueError("the workload needs at least one query profile")
+        if cost_of_participation <= 0:
+            raise ValueError("CP must be positive")
+        if directory_search_cost < 0:
+            raise ValueError("CS must be >= 0")
+        if relation_cardinality <= 0:
+            raise ValueError("relation cardinality must be positive")
+        self.profiles = tuple(profiles)
+        self.cp = cost_of_participation
+        self.cs = directory_search_cost
+        self.cardinality = relation_cardinality
+        total_freq = sum(p.frequency for p in self.profiles)
+        self._weights = tuple(p.frequency / total_freq for p in self.profiles)
+
+    # -- QAve (§3.2) -------------------------------------------------------
+
+    def average_query(self) -> AverageQuery:
+        """The frequency-weighted average query QAve."""
+        def weighted(getter):
+            return sum(w * getter(p)
+                       for w, p in zip(self._weights, self.profiles))
+
+        return AverageQuery(
+            tuples=weighted(lambda p: p.tuples),
+            cpu_seconds=weighted(lambda p: p.cpu_seconds),
+            disk_seconds=weighted(lambda p: p.disk_seconds),
+            net_seconds=weighted(lambda p: p.net_seconds))
+
+    # -- RT(M), equation 1 ----------------------------------------------------
+
+    def response_time(self, m: float) -> float:
+        """Equation 1: estimated response time of QAve on *m* processors."""
+        if m <= 0:
+            raise ValueError(f"m must be positive, got {m}")
+        q = self.average_query()
+        parallel = q.total_seconds / m
+        participation = m * self.cp
+        directory = ((m - 1) * self.cardinality * self.cs
+                     / (2.0 * q.tuples))
+        return parallel + participation + directory
+
+    # -- M, equation 2 -------------------------------------------------------------
+
+    def ideal_m(self) -> float:
+        """Equation 2: the M minimizing RT(M) (continuous, may be < 1)."""
+        q = self.average_query()
+        denominator = self.cp + self.cardinality * self.cs / (2.0 * q.tuples)
+        return math.sqrt(q.total_seconds / denominator)
+
+    # -- FC (§3.2 + footnote 4) ----------------------------------------------------
+
+    def fragment_cardinality(self) -> int:
+        """Tuples per fragment so that QAve covers M fragments."""
+        q = self.average_query()
+        m = self.ideal_m()
+        divisor = m if m < 1.0 else max(m - 1.0, 1e-12)
+        fc = q.tuples / divisor
+        return max(1, int(round(fc)))
+
+    def fragment_count(self) -> int:
+        """Total grid entries implied by the fragment cardinality."""
+        return max(1, math.ceil(self.cardinality / self.fragment_cardinality()))
+
+    # -- M_i, equation 3 -------------------------------------------------------------
+
+    def attributes(self) -> Tuple[str, ...]:
+        """Partitioning attributes referenced by the workload, in first-seen order."""
+        seen = []
+        for p in self.profiles:
+            if p.attribute not in seen:
+                seen.append(p.attribute)
+        return tuple(seen)
+
+    def ideal_mi(self, attribute: str) -> float:
+        """Equation 3: ideal processor count for queries on *attribute*.
+
+        Uses the relative frequency of each query among those whose
+        predicate includes the attribute (equation 2 of §3.2).
+        """
+        subset = [p for p in self.profiles if p.attribute == attribute]
+        if not subset:
+            raise KeyError(f"no query references attribute {attribute!r}")
+        total_freq = sum(p.frequency for p in subset)
+        weighted = sum(p.total_seconds * (p.frequency / total_freq)
+                       for p in subset)
+        return math.sqrt(weighted / self.cp)
+
+    def all_mi(self) -> Dict[str, float]:
+        """``ideal_mi`` for every referenced attribute."""
+        return {attr: self.ideal_mi(attr) for attr in self.attributes()}
+
+    # -- Fraction_Splits, equation 4 -------------------------------------------------
+
+    def fraction_splits(self) -> Dict[str, float]:
+        """Equation 4: relative split frequency of each grid dimension.
+
+        ``Fraction_Splits_i = FreqQ_i * (sum_j M_j - M_i) / sum_j M_j``
+        where ``FreqQ_i`` is the workload share of queries referencing
+        attribute *i*.  Only the ratios matter (footnote 5).
+        """
+        mi = self.all_mi()
+        m_sum = sum(mi.values())
+        freq_by_attr: Dict[str, float] = {}
+        for w, p in zip(self._weights, self.profiles):
+            freq_by_attr[p.attribute] = freq_by_attr.get(p.attribute, 0.0) + w
+        return {
+            attr: freq_by_attr[attr] * (m_sum - mi[attr]) / m_sum
+            for attr in mi
+        }
+
+    def observed_split_ratios(self) -> Dict[str, float]:
+        """Split ratios consistent with the paper's *usage* of equation 4.
+
+        Equation 4 as printed contradicts both places the paper applies
+        it: §3.3's STOCK example needs a 3:1 ratio for (M_ticker,
+        M_price) = (3, 1), and §7.2/§7.3 split the dimension with the
+        *larger* M_i nine times more often for (1, 9) / (9, 1).  The
+        unique rule matching every worked number in the paper is simply
+        ``Fraction_Splits_i proportional to M_i``; we use it to derive
+        directory shapes, while :meth:`fraction_splits` preserves the
+        printed formula for reference.
+        """
+        mi = self.all_mi()
+        m_sum = sum(mi.values())
+        return {attr: value / m_sum for attr, value in mi.items()}
+
+    def directory_shape(self) -> Dict[str, int]:
+        """Slice counts per dimension from fragment count + split ratios.
+
+        For split ratios ``f_i`` and total entries ``F``, the slice
+        counts solve ``prod N_i = F`` with ``N_i`` proportional to
+        ``f_i``: ``N_i = f_i * (F / prod f_j) ** (1/K)`` scaled to
+        integers >= 1.
+        """
+        fractions = self.observed_split_ratios()
+        total = self.fragment_count()
+        k = len(fractions)
+        if k == 1:
+            attr = next(iter(fractions))
+            return {attr: total}
+        product_f = math.prod(fractions.values())
+        if product_f <= 0:
+            raise ValueError("degenerate split fractions")
+        scale = (total / product_f) ** (1.0 / k)
+        return {attr: max(1, int(round(f * scale)))
+                for attr, f in fractions.items()}

@@ -1,0 +1,78 @@
+"""Single-attribute hash declustering.
+
+Hash partitioning is the other widely used single-attribute strategy the
+paper's introduction discusses: "a randomized function is applied to the
+partitioning attribute of each tuple to select a home processor.  This
+enables selection operators with an equality predicate on the
+partitioning attribute to be directed to a single processor.  However
+operators with a range predicate must be sent to all the processors"
+(§1).  It is not part of the paper's measured comparison -- range
+dominates it for this range-heavy workload -- but we include it as an
+ablation baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage.relation import Relation
+from .strategy import (
+    DeclusteringStrategy,
+    Placement,
+    RangePredicate,
+    RoutingDecision,
+)
+
+__all__ = ["HashStrategy", "HashPlacement"]
+
+#: Multiplier of the Knuth/Fibonacci integer hash used to scatter values.
+_KNUTH = 2654435761
+
+
+def _hash_values(values: np.ndarray, num_sites: int) -> np.ndarray:
+    """Deterministic multiplicative hash of integer values onto sites."""
+    scrambled = (values.astype(np.uint64) * np.uint64(_KNUTH)) & np.uint64(
+        0xFFFFFFFF)
+    return (scrambled % np.uint64(num_sites)).astype(np.int64)
+
+
+class HashPlacement(Placement):
+    """A relation hash-declustered on one attribute."""
+
+    def __init__(self, relation: Relation, fragments, attribute: str):
+        super().__init__(relation, fragments)
+        self.attribute = attribute
+
+    def route(self, predicate: RangePredicate) -> RoutingDecision:
+        if predicate.attribute == self.attribute and predicate.is_equality:
+            site = int(_hash_values(
+                np.array([predicate.low]), self.num_sites)[0])
+            return RoutingDecision(target_sites=(site,))
+        # Range predicates (even on the partitioning attribute) and
+        # predicates on other attributes must broadcast.
+        return RoutingDecision(
+            target_sites=tuple(range(self.num_sites)),
+            used_partitioning=False)
+
+    def describe(self) -> str:
+        return f"hash on {self.attribute!r}: {self.num_sites} sites"
+
+
+class HashStrategy(DeclusteringStrategy):
+    """Hash partitioning on a single attribute."""
+
+    name = "hash"
+
+    def __init__(self, attribute: str):
+        self.attribute = attribute
+
+    def partition(self, relation: Relation, num_sites: int) -> HashPlacement:
+        if num_sites <= 0:
+            raise ValueError(f"num_sites must be positive, got {num_sites}")
+        values = relation.column(self.attribute)
+        site_of_tuple = _hash_values(values, num_sites)
+        fragments = [
+            relation.fragment(np.nonzero(site_of_tuple == site)[0], site=site)
+            for site in range(num_sites)
+        ]
+        return HashPlacement(relation, fragments, self.attribute)

@@ -1,0 +1,101 @@
+"""Single-attribute range declustering (the paper's baseline).
+
+"In the range partitioning strategy, the database administrator specifies
+a range of key values for each processor" (§1).  We derive the ranges
+equal-depth from the data, which is what an administrator would do for a
+uniformly distributed partitioning attribute and produces perfectly
+balanced fragments.
+
+Routing: a predicate on the partitioning attribute goes only to the sites
+whose ranges intersect it; any other predicate must be broadcast to every
+site -- the limitation the multi-attribute strategies exist to fix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..storage.relation import Relation
+from .strategy import (
+    DeclusteringStrategy,
+    Placement,
+    RangePredicate,
+    RoutingDecision,
+    equal_depth_boundaries,
+    sites_for_interval,
+)
+
+__all__ = ["RangeStrategy", "RangePlacement"]
+
+
+class RangePlacement(Placement):
+    """A relation range-declustered on one attribute."""
+
+    def __init__(self, relation: Relation, fragments, attribute: str,
+                 boundaries: np.ndarray):
+        super().__init__(relation, fragments)
+        self.attribute = attribute
+        self.boundaries = boundaries
+
+    def route(self, predicate: RangePredicate) -> RoutingDecision:
+        if predicate.attribute != self.attribute:
+            return RoutingDecision(
+                target_sites=tuple(range(self.num_sites)),
+                used_partitioning=False)
+        sites = sites_for_interval(self.boundaries, predicate.low, predicate.high)
+        return RoutingDecision(target_sites=sites)
+
+    def site_for_tuple(self, values) -> int:
+        try:
+            value = values[self.attribute]
+        except KeyError:
+            raise KeyError(
+                f"insert needs the partitioning attribute "
+                f"{self.attribute!r}") from None
+        return int(np.searchsorted(self.boundaries, value, side="left"))
+
+    def describe(self) -> str:
+        return (f"range on {self.attribute!r}: {self.num_sites} sites, "
+                f"boundaries {self.boundaries[:3].tolist()}...")
+
+
+class RangeStrategy(DeclusteringStrategy):
+    """Equal-depth range partitioning on a single attribute.
+
+    Parameters
+    ----------
+    attribute:
+        The partitioning attribute (the workload's attribute A).
+    boundaries:
+        Optional explicit interior split points (``num_sites - 1`` of
+        them); when omitted they are computed equal-depth from the data.
+    """
+
+    name = "range"
+
+    def __init__(self, attribute: str,
+                 boundaries: Optional[np.ndarray] = None):
+        self.attribute = attribute
+        self._explicit_boundaries = (
+            None if boundaries is None else np.asarray(boundaries))
+
+    def partition(self, relation: Relation, num_sites: int) -> RangePlacement:
+        if num_sites <= 0:
+            raise ValueError(f"num_sites must be positive, got {num_sites}")
+        values = relation.column(self.attribute)
+        if self._explicit_boundaries is not None:
+            boundaries = self._explicit_boundaries
+            if len(boundaries) != num_sites - 1:
+                raise ValueError(
+                    f"need {num_sites - 1} boundaries, got {len(boundaries)}")
+        else:
+            boundaries = equal_depth_boundaries(values, num_sites)
+
+        site_of_tuple = np.searchsorted(boundaries, values, side="left")
+        fragments = [
+            relation.fragment(np.nonzero(site_of_tuple == site)[0], site=site)
+            for site in range(num_sites)
+        ]
+        return RangePlacement(relation, fragments, self.attribute, boundaries)

@@ -1,0 +1,136 @@
+"""Placement verification and diagnostics.
+
+Downstream users build their own strategies and tunings; this module
+gives them a one-call health check.  :func:`verify_placement` asserts
+the structural invariants every placement must hold (fragments form a
+partition; routing is sound for sampled predicates) and reports the
+quality metrics the paper's §3.4 cares about (load balance, per-slice
+processor diversity, average processors per query).
+
+Example::
+
+    report = verify_placement(placement, attributes=["unique1", "unique2"])
+    assert report.ok, report.problems
+    print(report.summary())
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .magic import MagicPlacement
+from .strategy import Placement, RangePredicate
+
+__all__ = ["PlacementReport", "verify_placement"]
+
+
+@dataclass
+class PlacementReport:
+    """Outcome of :func:`verify_placement`."""
+
+    ok: bool
+    problems: List[str] = field(default_factory=list)
+    #: max/mean per-site tuple load.
+    load_factor: float = 0.0
+    #: fraction of sites holding no tuples.
+    empty_site_fraction: float = 0.0
+    #: attribute -> average processors routed for sampled range queries.
+    avg_processors: Dict[str, float] = field(default_factory=dict)
+    #: attribute -> mean distinct processors per grid slice (MAGIC only).
+    slice_diversity: Dict[str, float] = field(default_factory=dict)
+    sampled_predicates: int = 0
+
+    def summary(self) -> str:
+        lines = [f"placement {'OK' if self.ok else 'BROKEN'}: "
+                 f"load factor {self.load_factor:.2f}, "
+                 f"{self.empty_site_fraction:.0%} empty sites"]
+        for attr, procs in sorted(self.avg_processors.items()):
+            lines.append(f"  {attr}: {procs:.2f} processors/query")
+        for attr, div in sorted(self.slice_diversity.items()):
+            lines.append(f"  {attr}: {div:.2f} processors/slice")
+        for problem in self.problems:
+            lines.append(f"  PROBLEM: {problem}")
+        return "\n".join(lines)
+
+
+def _check_partition(placement: Placement, problems: List[str]) -> None:
+    rows = [placement.fragment(s).rows for s in range(placement.num_sites)]
+    combined = np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
+    cardinality = placement.relation.cardinality
+    if len(combined) != cardinality:
+        problems.append(
+            f"fragments hold {len(combined)} tuples, relation has "
+            f"{cardinality}")
+    elif len(np.unique(combined)) != cardinality:
+        problems.append("fragments overlap: some tuple stored twice")
+
+
+def _check_routing(placement: Placement, attribute: str,
+                   rng: random.Random, samples: int,
+                   problems: List[str]) -> float:
+    domain_lo = int(placement.relation.column(attribute).min())
+    domain_hi = int(placement.relation.column(attribute).max())
+    span = max(domain_hi - domain_lo, 1)
+    widths = []
+    for _ in range(samples):
+        width = rng.choice([1, 10, span // 100 or 1])
+        low = domain_lo + rng.randrange(max(span - width, 1))
+        predicate = RangePredicate(attribute, low, low + width - 1)
+        decision = placement.route(predicate)
+        widths.append(decision.site_count)
+        counts = placement.qualifying_counts(predicate)
+        missing = [int(s) for s in np.nonzero(counts)[0]
+                   if int(s) not in decision.target_sites]
+        if missing:
+            problems.append(
+                f"routing for {predicate} missed sites {missing}")
+    return float(np.mean(widths)) if widths else 0.0
+
+
+def verify_placement(placement: Placement,
+                     attributes: Optional[Sequence[str]] = None,
+                     samples: int = 50,
+                     seed: int = 0) -> PlacementReport:
+    """Check a placement's invariants and report its quality metrics.
+
+    ``attributes`` defaults to every materialized column that routing
+    can exploit (for MAGIC, the grid dimensions; otherwise the columns
+    the placement was built from are a good choice).
+    """
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    problems: List[str] = []
+    _check_partition(placement, problems)
+
+    cards = placement.cardinalities()
+    mean = float(cards.mean()) or 1.0
+    report = PlacementReport(
+        ok=True,
+        load_factor=float(cards.max()) / mean,
+        empty_site_fraction=float((cards == 0).mean()))
+
+    if attributes is None:
+        if isinstance(placement, MagicPlacement):
+            attributes = list(placement.directory.attributes)
+        else:
+            attributes = [c for c in ("unique1", "unique2")
+                          if c in placement.relation.materialized_columns]
+    rng = random.Random(seed)
+    for attribute in attributes:
+        report.avg_processors[attribute] = _check_routing(
+            placement, attribute, rng, samples, problems)
+        report.sampled_predicates += samples
+
+    if isinstance(placement, MagicPlacement):
+        for attribute in placement.directory.attributes:
+            diversity = placement.directory.distinct_sites_per_slice(
+                attribute)
+            report.slice_diversity[attribute] = float(np.mean(diversity))
+
+    report.problems = problems
+    report.ok = not problems
+    return report

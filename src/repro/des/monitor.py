@@ -1,0 +1,151 @@
+"""Measurement instruments for simulation runs.
+
+The paper's evaluation criterion is system throughput (queries completed
+per second) as a function of multiprogramming level; we additionally track
+response times and resource utilizations, which the text uses to explain
+the results (e.g. BERD's auxiliary-index processor becoming a hot spot).
+
+All instruments support a *warm-up reset* so that steady-state statistics
+exclude the initial transient, the standard practice for closed
+queueing-network simulations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+__all__ = ["TallyMonitor", "TimeWeightedMonitor", "UtilizationMonitor"]
+
+
+class TallyMonitor:
+    """Accumulates discrete observations (e.g. per-query response times)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._count = 0
+        self._sum = 0.0
+        self._sum_sq = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._samples: Optional[List[float]] = None
+
+    def keep_samples(self) -> "TallyMonitor":
+        """Retain raw observations (for percentiles); returns self."""
+        self._samples = []
+        return self
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        self._count += 1
+        self._sum += value
+        self._sum_sq += value * value
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+        if self._samples is not None:
+            self._samples.append(value)
+
+    def reset(self) -> None:
+        """Discard everything recorded so far (end of warm-up)."""
+        self.__init__(self.name)
+        # note: keep_samples state is intentionally dropped with the reset;
+        # callers re-enable it if they still need percentiles.
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observations (0.0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def stdev(self) -> float:
+        """Population standard deviation (0.0 for < 2 observations)."""
+        if self._count < 2:
+            return 0.0
+        var = self._sum_sq / self._count - self.mean ** 2
+        return math.sqrt(max(var, 0.0))
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._max is not None else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The *q*-th percentile (0..100); requires :meth:`keep_samples`."""
+        if self._samples is None:
+            raise RuntimeError("enable keep_samples() before asking for percentiles")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+
+class TimeWeightedMonitor:
+    """Time-average of a piecewise-constant quantity (queue length etc.)."""
+
+    def __init__(self, name: str = "", initial: float = 0.0, now: float = 0.0):
+        self.name = name
+        self._level = initial
+        self._last_change = now
+        self._area = 0.0
+        self._start = now
+        self._max = initial
+
+    def observe(self, now: float, level: float) -> None:
+        """Record that the quantity changed to *level* at time *now*."""
+        self._area += self._level * (now - self._last_change)
+        self._level = level
+        self._last_change = now
+        self._max = max(self._max, level)
+
+    def reset(self, now: float) -> None:
+        """Restart averaging at *now*, keeping the current level."""
+        self._area = 0.0
+        self._start = now
+        self._last_change = now
+        self._max = self._level
+
+    @property
+    def current(self) -> float:
+        return self._level
+
+    @property
+    def maximum(self) -> float:
+        return self._max
+
+    def time_average(self, now: float) -> float:
+        """Time-weighted mean level over [reset, now]."""
+        span = now - self._start
+        if span <= 0:
+            return self._level
+        area = self._area + self._level * (now - self._last_change)
+        return area / span
+
+
+class UtilizationMonitor(TimeWeightedMonitor):
+    """Tracks a resource's busy-server count; attach via ``attach``."""
+
+    @classmethod
+    def attach(cls, resource, name: str = "") -> "UtilizationMonitor":
+        """Create a monitor, register it with *resource*, return it."""
+        mon = cls(name=name, initial=resource.count, now=resource.env.now)
+        resource.monitor = mon
+        mon._capacity = resource.capacity
+        return mon
+
+    def utilization(self, now: float) -> float:
+        """Fraction of capacity busy, time-averaged over [reset, now]."""
+        cap = getattr(self, "_capacity", 1)
+        return self.time_average(now) / cap if cap else 0.0

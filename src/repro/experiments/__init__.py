@@ -1,0 +1,74 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+* :mod:`~repro.experiments.config` -- one :class:`ExperimentConfig` per
+  figure (8a/8b, 9, 10a/10b, 11a/11b, 12a/12b) with the paper's
+  directory shapes and expected outcomes;
+* :mod:`~repro.experiments.runner` -- strategy x mix x correlation x MPL
+  sweeps on the Gamma machine model;
+* :mod:`~repro.experiments.report` -- text tables, §7 processor-count
+  numbers, the §4 rebalancing worst case;
+* :mod:`~repro.experiments.cli` -- the ``repro-experiments`` command.
+"""
+
+from .markdown import (
+    figure_section,
+    report_from_directory,
+    scoreboard_row,
+    series_table,
+)
+from .plot import ascii_plot, plot_figure
+from .results_io import (
+    figure_from_dict,
+    figure_to_csv,
+    figure_to_dict,
+    load_figure_json,
+    save_figure_json,
+)
+from .config import ATTR_A, ATTR_B, DEFAULT_MPLS, ExperimentConfig, FIGURES
+from .report import (
+    average_processors_table,
+    format_figure,
+    format_processor_table,
+    rebalance_worst_case,
+)
+from .sweeps import AXES, SweepAxis, SweepPoint, SweepResult, sweep
+from .runner import (
+    FigureResult,
+    PAPER_INDEXES,
+    build_strategy,
+    check_expectation,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "FIGURES",
+    "DEFAULT_MPLS",
+    "ATTR_A",
+    "ATTR_B",
+    "FigureResult",
+    "PAPER_INDEXES",
+    "build_strategy",
+    "run_experiment",
+    "check_expectation",
+    "format_figure",
+    "average_processors_table",
+    "format_processor_table",
+    "rebalance_worst_case",
+    "ascii_plot",
+    "plot_figure",
+    "figure_to_dict",
+    "figure_from_dict",
+    "save_figure_json",
+    "load_figure_json",
+    "figure_to_csv",
+    "sweep",
+    "SweepAxis",
+    "SweepPoint",
+    "SweepResult",
+    "AXES",
+    "scoreboard_row",
+    "series_table",
+    "figure_section",
+    "report_from_directory",
+]

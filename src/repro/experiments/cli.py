@@ -1,0 +1,162 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Examples::
+
+    repro-experiments --figure 8a                # one figure, full sweep
+    repro-experiments --all --quick              # every figure, small runs
+    repro-experiments --processors               # §7 processor counts
+    repro-experiments --rebalance                # §4 worst-case heuristic
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config import FIGURES
+from .plot import plot_figure
+from .report import (
+    average_processors_table,
+    format_figure,
+    format_processor_table,
+    rebalance_worst_case,
+)
+from .results_io import save_figure_json
+from .runner import run_experiment
+
+__all__ = ["main", "build_parser"]
+
+#: Reduced settings for --quick runs (smoke-level fidelity).
+QUICK_MPLS = (1, 16, 64)
+QUICK_MEASURED = 200
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of 'A Performance Analysis of "
+                    "Alternative Multi-Attribute Declustering Strategies' "
+                    "(SIGMOD 1992).")
+    parser.add_argument("--figure", choices=sorted(FIGURES),
+                        help="regenerate a single figure")
+    parser.add_argument("--all", action="store_true",
+                        help="regenerate every figure")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweeps for a fast smoke run")
+    parser.add_argument("--processors", action="store_true",
+                        help="print the per-figure average-processor table")
+    parser.add_argument("--rebalance", action="store_true",
+                        help="run the section-4 rebalancing worst case")
+    parser.add_argument("--sweep", metavar="AXIS",
+                        help="run a parameter sweep (see --sweep-values); "
+                             "axes: processors, qb_selectivity, "
+                             "correlation, buffer_pool, cpu_mips")
+    parser.add_argument("--sweep-values", metavar="V1,V2,...",
+                        help="comma-separated axis values for --sweep")
+    parser.add_argument("--sweep-figure", default="8a",
+                        help="figure config the sweep is based on")
+    parser.add_argument("--report", metavar="DIR",
+                        help="render a markdown report from figure_*.json "
+                             "files previously saved with --save-json")
+    parser.add_argument("--plot", action="store_true",
+                        help="also render each figure as an ASCII plot")
+    parser.add_argument("--save-json", metavar="DIR",
+                        help="save each figure's results as JSON in DIR")
+    parser.add_argument("--measured", type=int, default=400,
+                        help="measured queries per (strategy, MPL) point")
+    parser.add_argument("--cardinality", type=int, default=100_000,
+                        help="relation cardinality")
+    parser.add_argument("--processors-count", type=int, default=32,
+                        dest="num_sites", help="number of processors")
+    parser.add_argument("--seed", type=int, default=13)
+    return parser
+
+
+def _run_figures(names: List[str], args) -> List[str]:
+    blocks = []
+    mpls = QUICK_MPLS if args.quick else None
+    measured = QUICK_MEASURED if args.quick else args.measured
+    for name in names:
+        config = FIGURES[name]
+        result = run_experiment(
+            config, cardinality=args.cardinality, num_sites=args.num_sites,
+            measured_queries=measured, mpls=mpls, seed=args.seed)
+        blocks.append(format_figure(result))
+        if args.plot:
+            blocks.append("")
+            blocks.append(plot_figure(result))
+        if args.save_json:
+            import os
+            os.makedirs(args.save_json, exist_ok=True)
+            path = os.path.join(args.save_json, f"figure_{name}.json")
+            save_figure_json(result, path)
+            blocks.append(f"(saved {path})")
+        blocks.append(f"(wall time {result.wall_seconds:.1f}s)")
+        blocks.append("")
+    return blocks
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    out: List[str] = []
+
+    did_something = False
+    if args.figure:
+        out += _run_figures([args.figure], args)
+        did_something = True
+    if args.all:
+        out += _run_figures(sorted(FIGURES), args)
+        did_something = True
+    if args.processors:
+        for name in sorted(FIGURES):
+            config = FIGURES[name]
+            table = average_processors_table(
+                config, cardinality=args.cardinality,
+                num_sites=args.num_sites, seed=args.seed)
+            out.append(format_processor_table(config, table))
+            out.append("")
+        did_something = True
+    if args.rebalance:
+        stats = rebalance_worst_case(num_sites=args.num_sites)
+        out.append("Section 4 worst case (identical attribute values):")
+        for key, value in stats.items():
+            out.append(f"  {key}: {value}")
+        did_something = True
+    if args.sweep:
+        if not args.sweep_values:
+            print("--sweep requires --sweep-values", file=sys.stderr)
+            return 2
+        from .sweeps import sweep
+        values = [float(v) for v in args.sweep_values.split(",")]
+        result = sweep(args.sweep, values, figure=args.sweep_figure,
+                       measured_queries=(QUICK_MEASURED if args.quick
+                                         else args.measured),
+                       seed=args.seed)
+        out.append(f"Sweep over {result.axis} (figure {result.figure}, "
+                   f"MPL {result.multiprogramming_level}):")
+        strategies = sorted({p.strategy for p in result.points})
+        header = f"{'value':>12}" + "".join(f"{s:>12}" for s in strategies)
+        out.append(header)
+        for value in values:
+            row = f"{value:12g}"
+            series = {s: dict(result.series(s)) for s in strategies}
+            for s in strategies:
+                row += f"{series[s].get(value, float('nan')):12.1f}"
+            out.append(row)
+        did_something = True
+    if args.report:
+        from .markdown import report_from_directory
+        out.append(report_from_directory(args.report))
+        did_something = True
+
+    if not did_something:
+        build_parser().print_help()
+        return 2
+
+    print("\n".join(out))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""Experiment definitions: one config per table/figure of the paper.
+
+Each :class:`ExperimentConfig` pins everything needed to regenerate one
+figure: the query mix, the correlation level, the strategies compared,
+MAGIC's directory shape and per-attribute M_i (taken from the values §7
+reports -- 62x61 for low-low, 23x193 for low-moderate, 193x23 for
+moderate-low, 101x91 for moderate-moderate), the multiprogramming levels
+swept, and the paper's qualitative claim used for pass/fail checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["ExperimentConfig", "FIGURES", "DEFAULT_MPLS", "ATTR_A", "ATTR_B"]
+
+#: The workload's attribute A / B (paper §6: unique1 / unique2).
+ATTR_A = "unique1"
+ATTR_B = "unique2"
+
+#: The paper's x-axis: multiprogramming levels 1..64.
+DEFAULT_MPLS: Tuple[int, ...] = (1, 8, 16, 24, 32, 40, 48, 56, 64)
+
+
+@dataclass(frozen=True)
+class ExpectedOutcome:
+    """The paper's qualitative claim for one figure, checkable on results.
+
+    ``order`` lists strategies best-first at the highest MPL;
+    ``min_ratio``/``max_ratio`` optionally bound
+    throughput(order[0]) / throughput(order[1]) there.
+    """
+
+    order: Tuple[str, ...]
+    min_ratio: Optional[float] = None
+    max_ratio: Optional[float] = None
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to regenerate one of the paper's figures."""
+
+    figure: str
+    title: str
+    mix_name: str
+    correlation: str
+    magic_shape: Dict[str, int]
+    magic_mi: Dict[str, float]
+    strategies: Tuple[str, ...] = ("range", "berd", "magic")
+    mpls: Tuple[int, ...] = DEFAULT_MPLS
+    expected: Optional[ExpectedOutcome] = None
+
+    def describe(self) -> str:
+        return (f"Figure {self.figure}: {self.title} "
+                f"(mix={self.mix_name}, correlation={self.correlation})")
+
+
+def _magic(shape_a: int, shape_b: int, mi_a: float,
+           mi_b: float) -> Dict[str, Dict]:
+    return {
+        "magic_shape": {ATTR_A: shape_a, ATTR_B: shape_b},
+        "magic_mi": {ATTR_A: mi_a, ATTR_B: mi_b},
+    }
+
+
+FIGURES: Dict[str, ExperimentConfig] = {
+    "8a": ExperimentConfig(
+        figure="8a",
+        title="Low-Low query mix, low correlation",
+        mix_name="low-low", correlation="low",
+        expected=ExpectedOutcome(
+            order=("magic", "berd", "range"), min_ratio=1.02,
+            note="MAGIC outperforms BERD by ~7%; both far above range"),
+        **_magic(62, 61, 4.0, 8.0)),
+    "8b": ExperimentConfig(
+        figure="8b",
+        title="Low-Low query mix, high correlation",
+        mix_name="low-low", correlation="high",
+        expected=ExpectedOutcome(
+            order=("magic", "berd", "range"), min_ratio=1.1,
+            note="MAGIC outperforms BERD by ~45% at high MPL"),
+        **_magic(62, 61, 4.0, 8.0)),
+    "9": ExperimentConfig(
+        figure="9",
+        title="Low-Low mix with QB selectivity raised to 20 tuples",
+        mix_name="low-low-20", correlation="low",
+        strategies=("berd", "magic"),
+        expected=ExpectedOutcome(
+            order=("magic", "berd"), min_ratio=1.15,
+            note="MAGIC outperforms BERD by ~50% at MPL 64"),
+        **_magic(62, 61, 4.0, 8.0)),
+    "10a": ExperimentConfig(
+        figure="10a",
+        title="Low-Moderate query mix, low correlation",
+        mix_name="low-moderate", correlation="low",
+        expected=ExpectedOutcome(
+            order=("magic", "range", "berd"),
+            note="BERD below range: it pays the auxiliary-relation "
+                 "overhead while still touching all 32 processors"),
+        **_magic(23, 193, 1.0, 9.0)),
+    "10b": ExperimentConfig(
+        figure="10b",
+        title="Low-Moderate query mix, high correlation",
+        mix_name="low-moderate", correlation="high",
+        expected=ExpectedOutcome(
+            order=("magic", "berd", "range"),
+            note="Both multi-attribute strategies localize and beat "
+                 "range at high MPL; MAGIC avoids the auxiliary probe"),
+        **_magic(23, 193, 1.0, 9.0)),
+    "11a": ExperimentConfig(
+        figure="11a",
+        title="Moderate-Low query mix, low correlation",
+        mix_name="moderate-low", correlation="low",
+        expected=ExpectedOutcome(
+            order=("magic", "berd", "range"),
+            note="BERD outperforms range here (QB localized to <= 11 "
+                 "processors); MAGIC on top"),
+        **_magic(193, 23, 9.0, 1.0)),
+    "11b": ExperimentConfig(
+        figure="11b",
+        title="Moderate-Low query mix, high correlation",
+        mix_name="moderate-low", correlation="high",
+        expected=ExpectedOutcome(
+            order=("magic", "berd", "range"),
+            note="Near-identical to 10b per the paper"),
+        **_magic(193, 23, 9.0, 1.0)),
+    "12a": ExperimentConfig(
+        figure="12a",
+        title="Moderate-Moderate query mix, low correlation",
+        mix_name="moderate-moderate", correlation="low",
+        expected=ExpectedOutcome(
+            order=("magic", "range", "berd"),
+            note="MAGIC uses ~6.5 processors vs 16.5 for both others"),
+        **_magic(101, 91, 9.0, 9.0)),
+    "12b": ExperimentConfig(
+        figure="12b",
+        title="Moderate-Moderate query mix, high correlation",
+        mix_name="moderate-moderate", correlation="high",
+        expected=ExpectedOutcome(
+            order=("magic", "berd", "range"), min_ratio=1.05,
+            note="MAGIC outperforms BERD by ~25% at MPL 64 (no "
+                 "auxiliary-relation search); range wins at MPL 1"),
+        **_magic(101, 91, 9.0, 9.0)),
+}

@@ -1,0 +1,111 @@
+"""Markdown report generation from experiment results.
+
+Turns saved :class:`~repro.experiments.runner.FigureResult` objects into
+the tables EXPERIMENTS.md carries: a scoreboard row per figure, a full
+throughput series table, and a combined report over a directory of
+saved JSON results -- so the paper-vs-measured documentation can be
+regenerated mechanically after any model change.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional
+
+from .config import FIGURES
+from .runner import FigureResult, check_expectation
+from .results_io import load_figure_json
+
+__all__ = [
+    "scoreboard_row",
+    "series_table",
+    "figure_section",
+    "report_from_directory",
+]
+
+
+def scoreboard_row(result: FigureResult) -> str:
+    """One markdown table row: figure, claim, measurement, verdict."""
+    config = result.config
+    ok, detail = check_expectation(result)
+    claim = config.expected.note if config.expected else "-"
+    verdict = "match" if ok else "**deviation**"
+    return (f"| Fig {config.figure} | {claim} | {detail} | {verdict} |")
+
+
+def series_table(result: FigureResult,
+                 mpls: Optional[Iterable[int]] = None) -> str:
+    """Markdown table of throughput (q/s) per strategy and MPL."""
+    strategies = list(result.series)
+    all_mpls = [run.multiprogramming_level
+                for run in result.series[strategies[0]]]
+    chosen = [m for m in (mpls if mpls is not None else all_mpls)
+              if m in all_mpls]
+    lines = ["| MPL | " + " | ".join(strategies) + " |",
+             "|" + "---|" * (len(strategies) + 1)]
+    for mpl in chosen:
+        row = [str(mpl)]
+        for name in strategies:
+            row.append(f"{result.throughput_at(name, mpl):.0f}")
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def figure_section(result: FigureResult) -> str:
+    """A complete markdown section for one figure."""
+    config = result.config
+    parts = [f"### Figure {config.figure}: {config.title}",
+             "",
+             f"Mix `{config.mix_name}`, correlation `{config.correlation}`, "
+             f"{result.cardinality:,} tuples on {result.num_sites} "
+             f"processors, {result.measured_queries} measured queries per "
+             "point.",
+             "",
+             series_table(result)]
+    ok, detail = check_expectation(result)
+    verdict = "matches the paper" if ok else "DEVIATES from the paper"
+    parts += ["", f"Outcome ({verdict}): {detail}"]
+    if config.expected and config.expected.note:
+        parts.append(f"Paper's claim: {config.expected.note}")
+    return "\n".join(parts)
+
+
+def report_from_directory(directory: str,
+                          title: str = "Regenerated figures") -> str:
+    """A full markdown report from ``figure_*.json`` files in *directory*.
+
+    Figures are ordered as in the paper; files for unknown figures are
+    skipped with a note.
+    """
+    sections: List[str] = [f"# {title}", ""]
+    scoreboard: List[str] = [
+        "| Figure | Paper's claim | Measured | Verdict |",
+        "|---|---|---|---|",
+    ]
+    loaded: Dict[str, FigureResult] = {}
+    skipped: List[str] = []
+    for filename in sorted(os.listdir(directory)):
+        if not (filename.startswith("figure_")
+                and filename.endswith(".json")):
+            continue
+        path = os.path.join(directory, filename)
+        try:
+            result = load_figure_json(path)
+        except ValueError as exc:
+            skipped.append(f"{filename}: {exc}")
+            continue
+        loaded[result.config.figure] = result
+
+    if not loaded:
+        raise FileNotFoundError(
+            f"no loadable figure_*.json files in {directory!r}")
+
+    ordered = [name for name in FIGURES if name in loaded]
+    for name in ordered:
+        scoreboard.append(scoreboard_row(loaded[name]))
+    sections += scoreboard + [""]
+    for name in ordered:
+        sections += [figure_section(loaded[name]), ""]
+    if skipped:
+        sections.append("Skipped files: " + "; ".join(skipped))
+    return "\n".join(sections)

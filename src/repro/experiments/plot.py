@@ -1,0 +1,110 @@
+"""ASCII rendering of throughput-vs-MPL figures.
+
+The paper's figures are throughput curves over the multiprogramming
+level; this module renders a :class:`~repro.experiments.runner.
+FigureResult` as a terminal plot so the regenerated figure can be read
+the same way the original is, without any plotting dependency.
+
+Example output::
+
+    q/s
+    683 |                                           M
+        |                                M
+        |                     M                     B
+        |          M          B          B
+        |          B                     r          r
+     36 | Mr       r          r
+        +--------------------------------------------
+          1        16         32         48        64   MPL
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .runner import FigureResult
+
+__all__ = ["ascii_plot", "plot_figure"]
+
+#: One-letter marks per strategy, matching the paper's legend order.
+DEFAULT_MARKS = {
+    "range": "r",
+    "berd": "B",
+    "magic": "M",
+    "hash": "h",
+    "magic-derived": "m",
+}
+
+
+def ascii_plot(series: Dict[str, List[Tuple[float, float]]],
+               width: int = 64, height: int = 18,
+               x_label: str = "MPL", y_label: str = "q/s",
+               marks: Dict[str, str] = None) -> str:
+    """Render named (x, y) series as an ASCII scatter plot.
+
+    Points from different series landing on the same cell are shown as
+    ``*``.  Axes are linear; the y-axis starts at zero, as in the paper.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    marks = {**DEFAULT_MARKS, **(marks or {})}
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("all series are empty")
+    x_max = max(x for x, _ in points)
+    x_min = min(x for x, _ in points)
+    y_max = max(y for _, y in points) or 1.0
+    x_span = (x_max - x_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(series.items()):
+        mark = marks.get(name) or name[:1] or str(idx)
+        for x, y in pts:
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round(y / y_max * (height - 1)))
+            cell = grid[height - 1 - row][col]
+            grid[height - 1 - row][col] = mark if cell == " " else "*"
+
+    label_width = max(len(f"{y_max:.0f}"), len(y_label))
+    lines = [f"{y_label:>{label_width}}"]
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = f"{y_max:>{label_width}.0f}"
+        elif i == height - 1:
+            prefix = f"{0:>{label_width}d}"
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    ticks = " " * (label_width + 2)
+    tick_values = _spread_ticks(x_min, x_max, width)
+    lines.append(ticks + tick_values + f"   {x_label}")
+    legend = ", ".join(f"{marks.get(name, name[:1])}={name}"
+                       for name in series)
+    lines.append(" " * (label_width + 2) + f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def _spread_ticks(x_min: float, x_max: float, width: int) -> str:
+    """Lay x tick labels under the axis, left/middle/right."""
+    left = f"{x_min:g}"
+    mid = f"{(x_min + x_max) / 2:g}"
+    right = f"{x_max:g}"
+    line = [" "] * width
+    line[:len(left)] = left
+    mid_at = max(0, width // 2 - len(mid) // 2)
+    line[mid_at:mid_at + len(mid)] = mid
+    line[width - len(right):] = right
+    return "".join(line)[:width]
+
+
+def plot_figure(result: FigureResult, width: int = 64,
+                height: int = 18) -> str:
+    """Render one regenerated figure as a throughput-vs-MPL ASCII plot."""
+    series = {
+        name: [(run.multiprogramming_level, run.throughput)
+               for run in runs]
+        for name, runs in result.series.items()
+    }
+    plot = ascii_plot(series, width=width, height=height)
+    return f"{result.config.describe()}\n{plot}"

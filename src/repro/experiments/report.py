@@ -1,0 +1,131 @@
+"""Plain-text reporting of regenerated figures and auxiliary tables.
+
+Produces the same information the paper's figures and in-text numbers
+convey: throughput-vs-MPL series per strategy, the average number of
+processors each strategy uses per query type (the §7 in-text numbers),
+and the §4 rebalancing worst case.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import (
+    Placement,
+    RangePredicate,
+    assign_entries,
+    build_from_shape,
+    load_spread,
+    rebalance_assignment,
+)
+from ..storage import make_wisconsin
+from ..workload import make_mix
+from .config import ATTR_A, ATTR_B, ExperimentConfig
+from .runner import FigureResult, build_strategy, check_expectation
+
+__all__ = [
+    "format_figure",
+    "average_processors_table",
+    "rebalance_worst_case",
+    "format_processor_table",
+]
+
+
+def format_figure(result: FigureResult) -> str:
+    """Render one figure's series as an aligned text table."""
+    config = result.config
+    lines = [config.describe(),
+             f"(relation: {result.cardinality} tuples on "
+             f"{result.num_sites} processors; "
+             f"{result.measured_queries} measured queries per point)"]
+    strategies = list(result.series)
+    header = "MPL".rjust(5) + "".join(s.rjust(12) for s in strategies)
+    lines.append(header)
+    lines.append("-" * len(header))
+    mpls = [run.multiprogramming_level
+            for run in result.series[strategies[0]]]
+    for i, mpl in enumerate(mpls):
+        row = f"{mpl:5d}"
+        for s in strategies:
+            row += f"{result.series[s][i].throughput:12.1f}"
+        lines.append(row)
+    ok, detail = check_expectation(result)
+    verdict = "MATCHES PAPER" if ok else "DEVIATES FROM PAPER"
+    lines.append(f"paper expectation [{verdict}]: {detail}")
+    if config.expected and config.expected.note:
+        lines.append(f"paper note: {config.expected.note}")
+    return "\n".join(lines)
+
+
+def average_processors_table(config: ExperimentConfig,
+                             cardinality: int = 100_000,
+                             num_sites: int = 32,
+                             samples: int = 300,
+                             seed: int = 13) -> Dict[str, Dict[str, float]]:
+    """Average processors used per query type, per strategy (§7 numbers).
+
+    Purely routing-level (no simulation): draws predicates from the mix
+    and averages :meth:`RoutingDecision.site_count`.
+    """
+    relation = make_wisconsin(cardinality, correlation=config.correlation,
+                              seed=seed)
+    mix = make_mix(config.mix_name, domain=cardinality)
+    table: Dict[str, Dict[str, float]] = {}
+    for name in config.strategies:
+        strategy = build_strategy(name, config, cardinality)
+        placement = strategy.partition(relation, num_sites)
+        rng = random.Random(seed)
+        widths: Dict[str, List[int]] = {}
+        for _ in range(samples):
+            spec = mix.sample_spec(rng)
+            predicate = spec.make_predicate(rng)
+            decision = placement.route(predicate)
+            widths.setdefault(spec.name, []).append(decision.site_count)
+        table[name] = {
+            qtype: float(np.mean(values))
+            for qtype, values in sorted(widths.items())
+        }
+        all_widths = [w for values in widths.values() for w in values]
+        table[name]["average"] = float(np.mean(all_widths))
+    return table
+
+
+def format_processor_table(config: ExperimentConfig,
+                           table: Dict[str, Dict[str, float]]) -> str:
+    """Render an :func:`average_processors_table` result."""
+    lines = [f"Average processors per query -- {config.describe()}"]
+    for strategy, stats in table.items():
+        parts = ", ".join(f"{k}={v:.2f}" for k, v in stats.items())
+        lines.append(f"  {strategy:14s} {parts}")
+    return "\n".join(lines)
+
+
+def rebalance_worst_case(num_sites: int = 32, cardinality: int = 32_000,
+                         grid: int = 32, seed: int = 12) -> Dict[str, float]:
+    """The §4 experiment: identical partitioning attribute values.
+
+    Returns the empty-processor counts and load spreads before/after the
+    hill-climbing heuristic, mirroring the paper's "12 processors
+    containing no tuples ... only a 20% difference" discussion.
+    """
+    relation = make_wisconsin(cardinality, correlation="identical",
+                              seed=seed)
+    directory = build_from_shape(relation, [ATTR_A, ATTR_B], (grid, grid))
+    directory.set_assignment(
+        assign_entries((grid, grid), [5.0, 5.0], num_sites))
+
+    before = directory.tuples_per_site(num_sites)
+    swaps = rebalance_assignment(directory, num_sites, max_iterations=500)
+    after = directory.tuples_per_site(num_sites)
+    mean = float(after.mean()) if after.mean() else 1.0
+    return {
+        "empty_before": int((before == 0).sum()),
+        "empty_after": int((after == 0).sum()),
+        "spread_before": int(load_spread(before)),
+        "spread_after": int(load_spread(after)),
+        "relative_spread_after": float(load_spread(after) / mean),
+        "swaps": swaps,
+    }

@@ -1,0 +1,108 @@
+"""Persisting and reloading experiment results (JSON and CSV).
+
+Long sweeps are expensive; this module lets the harness save every
+:class:`~repro.gamma.metrics.RunResult` of a figure and reload it later
+for reporting, plotting or regression comparison, with a round-trip
+guarantee tested in the suite.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict
+from typing import Dict, List
+
+from ..gamma.metrics import RunResult
+from .config import FIGURES, ExperimentConfig
+from .runner import FigureResult
+
+__all__ = [
+    "figure_to_dict",
+    "figure_from_dict",
+    "save_figure_json",
+    "load_figure_json",
+    "figure_to_csv",
+]
+
+#: Format identifier embedded in saved files.
+FORMAT_VERSION = 1
+
+
+def figure_to_dict(result: FigureResult) -> Dict:
+    """A JSON-serializable dictionary of one figure's results."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "figure": result.config.figure,
+        "cardinality": result.cardinality,
+        "num_sites": result.num_sites,
+        "measured_queries": result.measured_queries,
+        "wall_seconds": result.wall_seconds,
+        "series": {
+            name: [asdict(run) for run in runs]
+            for name, runs in result.series.items()
+        },
+    }
+
+
+def figure_from_dict(payload: Dict) -> FigureResult:
+    """Rebuild a :class:`FigureResult` from :func:`figure_to_dict` output.
+
+    The experiment config is resolved by figure name from the registry,
+    so loaded results carry their expectations for re-checking.
+    """
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported results format {version!r}")
+    figure = payload["figure"]
+    try:
+        config: ExperimentConfig = FIGURES[figure]
+    except KeyError:
+        raise ValueError(f"unknown figure {figure!r} in results file") \
+            from None
+    result = FigureResult(
+        config=config,
+        cardinality=payload["cardinality"],
+        num_sites=payload["num_sites"],
+        measured_queries=payload["measured_queries"],
+        wall_seconds=payload.get("wall_seconds", 0.0))
+    for name, runs in payload["series"].items():
+        result.series[name] = [RunResult(**run) for run in runs]
+    return result
+
+
+def save_figure_json(result: FigureResult, path: str) -> None:
+    """Write one figure's results to *path* as JSON."""
+    with open(path, "w") as handle:
+        json.dump(figure_to_dict(result), handle, indent=2, sort_keys=True)
+
+
+def load_figure_json(path: str) -> FigureResult:
+    """Load a figure saved by :func:`save_figure_json`."""
+    with open(path) as handle:
+        return figure_from_dict(json.load(handle))
+
+
+def figure_to_csv(result: FigureResult) -> str:
+    """Flatten one figure's series to CSV (one row per strategy x MPL)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([
+        "figure", "strategy", "mpl", "throughput_qps",
+        "response_time_ms", "cpu_utilization", "disk_utilization",
+        "scheduler_cpu_utilization", "completed", "messages_sent",
+    ])
+    for strategy, runs in result.series.items():
+        for run in runs:
+            writer.writerow([
+                result.config.figure, strategy,
+                run.multiprogramming_level,
+                f"{run.throughput:.3f}",
+                f"{run.response_time_mean * 1000:.2f}",
+                f"{run.cpu_utilization:.4f}",
+                f"{run.disk_utilization:.4f}",
+                f"{run.scheduler_cpu_utilization:.4f}",
+                run.completed, run.messages_sent,
+            ])
+    return buffer.getvalue()

@@ -1,0 +1,140 @@
+"""Experiment runner: strategy x mix x correlation x MPL sweeps.
+
+Regenerates the throughput-vs-multiprogramming-level series behind every
+figure of the paper's evaluation.  Placements are built once per
+(strategy, correlation) and reused across the MPL sweep (as in the
+paper: the relation is declustered once, then measured under different
+loads).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import (
+    BerdStrategy,
+    HashStrategy,
+    MagicStrategy,
+    MagicTuning,
+    Placement,
+    RangeStrategy,
+)
+from ..gamma import GAMMA_PARAMETERS, GammaMachine, RunResult, SimulationParameters
+from ..storage import make_wisconsin
+from ..workload import cost_model_for_mix, make_mix
+from .config import ATTR_A, ATTR_B, ExperimentConfig
+
+__all__ = ["FigureResult", "build_strategy", "run_experiment",
+           "check_expectation"]
+
+#: Indexes of §6: non-clustered on A, clustered on B.
+PAPER_INDEXES = {ATTR_A: False, ATTR_B: True}
+
+
+@dataclass
+class FigureResult:
+    """All series of one regenerated figure."""
+
+    config: ExperimentConfig
+    cardinality: int
+    num_sites: int
+    measured_queries: int
+    series: Dict[str, List[RunResult]] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def throughput_at(self, strategy: str, mpl: int) -> float:
+        for result in self.series[strategy]:
+            if result.multiprogramming_level == mpl:
+                return result.throughput
+        raise KeyError(f"no MPL {mpl} run for {strategy!r}")
+
+    def final_throughputs(self) -> Dict[str, float]:
+        """Throughput of each strategy at the highest MPL swept."""
+        return {name: runs[-1].throughput
+                for name, runs in self.series.items()}
+
+
+def build_strategy(name: str, config: ExperimentConfig,
+                   cardinality: int,
+                   params: SimulationParameters = GAMMA_PARAMETERS):
+    """Instantiate a declustering strategy by experiment name.
+
+    ``magic`` pins the paper-reported directory shape and M_i values;
+    ``magic-derived`` lets the cost model (fed by the analytic workload
+    profiles) choose everything, the fully self-contained pipeline.
+    """
+    if name == "range":
+        return RangeStrategy(ATTR_A)
+    if name == "hash":
+        return HashStrategy(ATTR_A)
+    if name == "berd":
+        return BerdStrategy(ATTR_A, [ATTR_B])
+    if name == "magic":
+        return MagicStrategy(
+            [ATTR_A, ATTR_B],
+            tuning=MagicTuning(shape=dict(config.magic_shape),
+                               mi=dict(config.magic_mi)))
+    if name == "magic-derived":
+        mix = make_mix(config.mix_name, domain=cardinality)
+        model = cost_model_for_mix(mix, params, cardinality)
+        return MagicStrategy([ATTR_A, ATTR_B], cost_model=model)
+    raise ValueError(f"unknown strategy {name!r}")
+
+
+def run_experiment(config: ExperimentConfig,
+                   cardinality: int = 100_000,
+                   num_sites: int = 32,
+                   measured_queries: int = 400,
+                   mpls: Optional[Sequence[int]] = None,
+                   seed: int = 13,
+                   params: SimulationParameters = GAMMA_PARAMETERS,
+                   strategies: Optional[Sequence[str]] = None,
+                   ) -> FigureResult:
+    """Regenerate one figure; returns every (strategy, MPL) run result."""
+    started = time.time()
+    mpls = tuple(mpls if mpls is not None else config.mpls)
+    strategies = tuple(strategies if strategies is not None
+                       else config.strategies)
+    relation = make_wisconsin(cardinality, correlation=config.correlation,
+                              seed=seed)
+    mix = make_mix(config.mix_name, domain=cardinality)
+
+    result = FigureResult(config=config, cardinality=cardinality,
+                          num_sites=num_sites,
+                          measured_queries=measured_queries)
+    for name in strategies:
+        strategy = build_strategy(name, config, cardinality, params)
+        placement = strategy.partition(relation, num_sites)
+        runs: List[RunResult] = []
+        for mpl in mpls:
+            machine = GammaMachine(placement, indexes=PAPER_INDEXES,
+                                   params=params, seed=seed)
+            runs.append(machine.run(mix, multiprogramming_level=mpl,
+                                    measured_queries=measured_queries))
+        result.series[name] = runs
+    result.wall_seconds = time.time() - started
+    return result
+
+
+def check_expectation(result: FigureResult) -> Tuple[bool, str]:
+    """Compare a figure's outcome against the paper's claim.
+
+    Returns ``(matches, explanation)``.  The check uses the highest-MPL
+    point, where the paper states its margins.
+    """
+    expected = result.config.expected
+    if expected is None:
+        return True, "no expectation recorded"
+    finals = result.final_throughputs()
+    present = [s for s in expected.order if s in finals]
+    values = [finals[s] for s in present]
+    ok = all(values[i] >= values[i + 1] for i in range(len(values) - 1))
+    measured_order = sorted(present, key=lambda s: -finals[s])
+    detail = " > ".join(f"{s}={finals[s]:.0f}" for s in measured_order)
+    if ok and expected.min_ratio is not None and len(values) >= 2:
+        ratio = values[0] / values[1] if values[1] else float("inf")
+        ok = ratio >= expected.min_ratio
+        detail += f" (ratio {ratio:.2f}, expected >= {expected.min_ratio})"
+    return ok, detail

@@ -1,0 +1,149 @@
+"""General parameter sweeps over the simulation model.
+
+Beyond the figure regeneration (fixed Table 2 parameters, MPL on the
+x-axis), a systems study wants sensitivity analyses: how does the
+comparison move when a hardware or workload parameter changes?
+:func:`sweep` runs a (strategy x value) grid over any knob expressible
+as a :class:`SweepAxis` and returns a tidy result table.
+
+Built-in axes cover the sweeps the extension benchmarks use:
+machine size, QB selectivity, attribute correlation, buffer-pool size
+and CPU speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..gamma import GAMMA_PARAMETERS, GammaMachine, RunResult, SimulationParameters
+from ..storage import make_wisconsin
+from ..workload import make_mix
+from .config import ATTR_A, ATTR_B, ExperimentConfig, FIGURES
+from .runner import PAPER_INDEXES, build_strategy
+
+__all__ = ["SweepAxis", "SweepPoint", "SweepResult", "sweep",
+           "AXES"]
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One sweepable knob.
+
+    ``apply(value)`` returns the keyword overrides for
+    :func:`run_point`: any of ``params`` (a SimulationParameters),
+    ``correlation``, ``qb_low_tuples``, ``num_sites``.
+    """
+
+    name: str
+    apply: Callable[[float], Dict]
+    description: str = ""
+
+
+def _params_axis(field_name: str, description: str) -> SweepAxis:
+    def apply(value):
+        return {"params": GAMMA_PARAMETERS.with_overrides(
+            **{field_name: value})}
+    return SweepAxis(name=field_name, apply=apply, description=description)
+
+
+AXES: Dict[str, SweepAxis] = {
+    "processors": SweepAxis(
+        "processors", lambda v: {"num_sites": int(v)},
+        "machine size (number of processors)"),
+    "qb_selectivity": SweepAxis(
+        "qb_selectivity", lambda v: {"qb_low_tuples": int(v)},
+        "tuples retrieved by the low QB query (Figure 9 axis)"),
+    "correlation": SweepAxis(
+        "correlation", lambda v: {"correlation": float(v)},
+        "rank correlation of the partitioning attributes"),
+    "buffer_pool": SweepAxis(
+        "buffer_pool",
+        lambda v: {"params": GAMMA_PARAMETERS.with_overrides(
+            buffer_pool_pages=(int(v) or None))},
+        "explicit buffer pool pages per node (0 = analytic model)"),
+    "cpu_mips": _params_axis(
+        "cpu_instructions_per_second", "CPU speed in instructions/second"),
+}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (strategy, axis value) measurement."""
+
+    strategy: str
+    value: float
+    result: RunResult
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep."""
+
+    axis: str
+    figure: str
+    multiprogramming_level: int
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def series(self, strategy: str) -> List[Tuple[float, float]]:
+        """(value, throughput) pairs of one strategy, in sweep order."""
+        return [(p.value, p.result.throughput)
+                for p in self.points if p.strategy == strategy]
+
+    def ratio_series(self, numerator: str,
+                     denominator: str) -> List[Tuple[float, float]]:
+        """Throughput ratio of two strategies along the axis."""
+        num = dict(self.series(numerator))
+        den = dict(self.series(denominator))
+        return [(v, num[v] / den[v]) for v in num if v in den and den[v]]
+
+
+def run_point(config: ExperimentConfig, strategy_name: str,
+              multiprogramming_level: int,
+              cardinality: int = 100_000,
+              num_sites: int = 32,
+              measured_queries: int = 250,
+              correlation: Optional[float] = None,
+              qb_low_tuples: int = 10,
+              params: SimulationParameters = GAMMA_PARAMETERS,
+              seed: int = 13) -> RunResult:
+    """One simulation run with arbitrary overrides."""
+    corr = correlation if correlation is not None else config.correlation
+    relation = make_wisconsin(cardinality, correlation=corr, seed=seed)
+    mix = make_mix(config.mix_name, domain=cardinality,
+                   qb_low_tuples=qb_low_tuples)
+    strategy = build_strategy(strategy_name, config, cardinality, params)
+    placement = strategy.partition(relation, num_sites)
+    machine = GammaMachine(placement, indexes=PAPER_INDEXES, params=params,
+                           seed=seed)
+    return machine.run(mix, multiprogramming_level=multiprogramming_level,
+                       measured_queries=measured_queries)
+
+
+def sweep(axis: str, values: Sequence[float],
+          figure: str = "8a",
+          strategies: Sequence[str] = ("range", "berd", "magic"),
+          multiprogramming_level: int = 32,
+          cardinality: int = 100_000,
+          measured_queries: int = 250,
+          seed: int = 13) -> SweepResult:
+    """Run a (strategy x value) grid along one named axis."""
+    try:
+        sweep_axis = AXES[axis]
+    except KeyError:
+        raise ValueError(
+            f"unknown axis {axis!r}; available: {sorted(AXES)}") from None
+    config = FIGURES[figure]
+    result = SweepResult(axis=axis, figure=figure,
+                         multiprogramming_level=multiprogramming_level)
+    for value in values:
+        overrides = sweep_axis.apply(value)
+        for name in strategies:
+            run = run_point(config, name,
+                            multiprogramming_level=multiprogramming_level,
+                            cardinality=cardinality,
+                            measured_queries=measured_queries,
+                            seed=seed, **overrides)
+            result.points.append(SweepPoint(strategy=name, value=value,
+                                            result=run))
+    return result

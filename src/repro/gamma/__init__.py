@@ -1,0 +1,64 @@
+"""Simulation model of the Gamma database machine (paper §5).
+
+A component-level discrete-event model: per-node CPU (FCFS,
+non-preemptive, DMA priority), elevator-scheduled disk, network
+interfaces over a fully connected interconnect, operator managers, and
+the stand-alone query manager / scheduler / catalog / terminal modules,
+parameterized by Table 2 (:data:`~repro.gamma.params.GAMMA_PARAMETERS`).
+
+Entry point: :class:`~repro.gamma.machine.GammaMachine`.
+"""
+
+from .buffer import BufferPool
+from .catalog import RelationEntry, SiteStorage, SystemCatalog
+from .cpu import Cpu, DMA_PRIORITY, NORMAL_PRIORITY
+from .disk import Disk, DiskRequest
+from .loader import LoadResult, simulate_declustering
+from .machine import GammaMachine
+from .messages import (
+    OperatorDone,
+    ProbeReply,
+    ProbeRequest,
+    ResultPacket,
+    SelectRequest,
+)
+from .metrics import RunMetrics, RunResult
+from .network import Network, NetworkEndpoint
+from .node import OperatorNode
+from .operator import OperatorManager
+from .params import GAMMA_PARAMETERS, SimulationParameters
+from .scheduler import QueryHandle, QueryScheduler
+from .terminal import OpenArrivalSource, QuerySource, TerminalPool
+
+__all__ = [
+    "GammaMachine",
+    "LoadResult",
+    "simulate_declustering",
+    "SimulationParameters",
+    "GAMMA_PARAMETERS",
+    "Cpu",
+    "DMA_PRIORITY",
+    "NORMAL_PRIORITY",
+    "Disk",
+    "DiskRequest",
+    "Network",
+    "NetworkEndpoint",
+    "OperatorNode",
+    "OperatorManager",
+    "SystemCatalog",
+    "BufferPool",
+    "RelationEntry",
+    "SiteStorage",
+    "QueryScheduler",
+    "QueryHandle",
+    "TerminalPool",
+    "OpenArrivalSource",
+    "QuerySource",
+    "RunMetrics",
+    "RunResult",
+    "SelectRequest",
+    "ProbeRequest",
+    "ProbeReply",
+    "ResultPacket",
+    "OperatorDone",
+]

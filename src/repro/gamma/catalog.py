@@ -1,0 +1,278 @@
+"""The System Catalog manager (paper §5).
+
+"The System Catalog manager keeps track of how many relations are
+defined, what disk each relation is declustered across, which
+partitioning strategy is used to decluster a relation, and the number of
+pages of each relation on each disk.  For each relation, a mapping from
+logical page numbers to physical disk addresses is also maintained.
+This physical assignment of pages allows for accurate modeling of
+sequential as well as random disk accesses.  Indices, including both
+clustered and non-clustered B+ trees can be constructed on a relation."
+
+Registration allocates, on every site's disk: the base fragment's extent,
+one extent per index structure and -- for BERD placements -- an extent
+per auxiliary-relation fragment.  The catalog then hands the operator
+model per-site B-tree descriptors and physical positions for its reads.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.berd import BerdPlacement
+from ..core.magic import MagicPlacement
+from ..core.strategy import Placement
+from ..storage.btree import BTreeIndex, sequential_scan_plan
+from ..storage.pages import DiskLayout, Extent, pages_for_tuples
+from .params import SimulationParameters
+
+__all__ = ["SystemCatalog", "RelationEntry", "SiteStorage"]
+
+#: Bytes of one auxiliary-relation entry: 4-byte key + 8-byte (tid, site).
+AUX_ENTRY_BYTES = 12
+
+
+@dataclass
+class SiteStorage:
+    """Physical layout of one relation at one site."""
+
+    base_extent: Extent
+    index_extents: Dict[str, Extent] = field(default_factory=dict)
+    aux_extents: Dict[str, Extent] = field(default_factory=dict)
+
+
+@dataclass
+class RelationEntry:
+    """Catalog record of one declustered relation."""
+
+    placement: Placement
+    #: attribute -> True for a clustered index, False for non-clustered.
+    indexes: Dict[str, bool]
+    sites: List[SiteStorage]
+
+
+class SystemCatalog:
+    """Catalog of declustered relations and their physical layout."""
+
+    def __init__(self, params: SimulationParameters):
+        self.params = params
+        self._relations: Dict[str, RelationEntry] = {}
+        self._btrees: Dict[Tuple[str, int, str], BTreeIndex] = {}
+        self._aux_btrees: Dict[Tuple[str, int, str], BTreeIndex] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, placement: Placement, indexes: Dict[str, bool],
+                 layouts: List[DiskLayout]) -> RelationEntry:
+        """Record *placement* and allocate its pages on each site's disk."""
+        name = placement.relation.name
+        if name in self._relations:
+            raise ValueError(f"relation {name!r} already registered")
+        if len(layouts) != placement.num_sites:
+            raise ValueError(
+                f"{placement.num_sites} sites need {placement.num_sites} "
+                f"disk layouts, got {len(layouts)}")
+
+        sites: List[SiteStorage] = []
+        for site in range(placement.num_sites):
+            layout = layouts[site]
+            fragment = placement.fragment(site)
+            base_pages = pages_for_tuples(fragment.cardinality,
+                                          self.params.tuples_per_page)
+            storage = SiteStorage(base_extent=layout.allocate(base_pages))
+            for attr, clustered in indexes.items():
+                tree = self._make_btree(fragment.cardinality, clustered)
+                storage.index_extents[attr] = layout.allocate(
+                    tree.index_pages_total)
+                self._btrees[(name, site, attr)] = tree
+            if isinstance(placement, BerdPlacement):
+                for attr in placement.auxiliaries:
+                    entries = placement.aux_cardinality(attr, site)
+                    aux_tree = self._make_aux_btree(entries)
+                    pages = (aux_tree.leaf_pages + aux_tree.index_pages_total)
+                    storage.aux_extents[attr] = layout.allocate(pages)
+                    self._aux_btrees[(name, site, attr)] = aux_tree
+            sites.append(storage)
+
+        entry = RelationEntry(placement=placement, indexes=dict(indexes),
+                              sites=sites)
+        self._relations[name] = entry
+        return entry
+
+    def _make_btree(self, num_keys: int, clustered: bool) -> BTreeIndex:
+        # With an explicit buffer pool the access plan must enumerate
+        # every page touch; residency then emerges from LRU behaviour.
+        explicit_pool = self.params.buffer_pool_pages is not None
+        return BTreeIndex(num_keys,
+                          tuples_per_page=self.params.tuples_per_page,
+                          clustered=clustered,
+                          fanout=self.params.btree_fanout,
+                          cached_levels=(0 if explicit_pool
+                                         else self.params.btree_cached_levels),
+                          resident=(False if explicit_pool
+                                    else self.params.index_pages_resident))
+
+    def _make_aux_btree(self, num_entries: int) -> BTreeIndex:
+        """Auxiliary relations are stored as clustered B-trees on the
+        secondary attribute value (§2).  The entry pages are the aux
+        relation's *data* and always hit disk -- the "overhead of
+        accessing the auxiliary relation" of §7."""
+        per_page = max(1, self.params.page_bytes // AUX_ENTRY_BYTES)
+        return BTreeIndex(num_entries, tuples_per_page=per_page,
+                          clustered=True, fanout=self.params.btree_fanout,
+                          cached_levels=self.params.btree_cached_levels,
+                          resident=self.params.index_pages_resident)
+
+    # -- lookups ------------------------------------------------------------------
+
+    def entry(self, relation: str) -> RelationEntry:
+        try:
+            return self._relations[relation]
+        except KeyError:
+            raise KeyError(f"relation {relation!r} not registered") from None
+
+    def btree(self, relation: str, site: int, attribute: str) -> BTreeIndex:
+        try:
+            return self._btrees[(relation, site, attribute)]
+        except KeyError:
+            raise KeyError(
+                f"no index on {relation}.{attribute} at site {site}") from None
+
+    def select_plan(self, relation: str, site: int, attribute: str,
+                    matches: int):
+        """(access plan, index-or-None) for a selection at one site.
+
+        Uses the attribute's B-tree when one exists; otherwise falls
+        back to a full sequential scan of the site's fragment -- every
+        page streams past and every tuple is examined, the cost the
+        paper's §1 cites for predicates on non-partitioning attributes.
+        """
+        index = self._btrees.get((relation, site, attribute))
+        if index is not None:
+            return index.range_lookup(matches), index
+        fragment = self.entry(relation).placement.fragment(site)
+        plan = sequential_scan_plan(fragment.cardinality,
+                                    self.params.tuples_per_page,
+                                    num_matches=matches)
+        return plan, None
+
+    def aux_btree(self, relation: str, site: int,
+                  attribute: str) -> BTreeIndex:
+        try:
+            return self._aux_btrees[(relation, site, attribute)]
+        except KeyError:
+            raise KeyError(
+                f"no auxiliary index on {relation}.{attribute} at site "
+                f"{site}") from None
+
+    # -- physical positions ---------------------------------------------------------
+
+    def random_read_cylinder(self, relation: str, site: int,
+                             rng: random.Random) -> int:
+        """Cylinder of a uniformly random page of the site's base extent."""
+        return self.random_data_page(relation, site, rng)[1]
+
+    def random_data_page(self, relation: str, site: int,
+                         rng: random.Random):
+        """(page key, cylinder) of a random base-extent page.
+
+        The page key identifies the page for buffer-pool lookups.
+        """
+        extent = self.entry(relation).sites[site].base_extent
+        if extent.num_pages == 0:
+            logical = 0
+            page = extent.start_page
+        else:
+            logical = rng.randrange(extent.num_pages)
+            page = extent.physical_page(logical)
+        return (relation, site, "data", logical), self._cylinder(page)
+
+    def data_run_pages(self, relation: str, site: int, num_pages: int,
+                       position: float):
+        """Page keys + start cylinder for a sequential clustered run.
+
+        ``position`` in [0, 1) locates the run within the extent, as a
+        clustered range predicate's position within the key domain.
+        """
+        extent = self.entry(relation).sites[site].base_extent
+        slack = max(extent.num_pages - num_pages, 0)
+        start = min(int(position * (slack + 1)), slack)
+        keys = [(relation, site, "data", start + i)
+                for i in range(min(num_pages, max(extent.num_pages, 1)))]
+        cylinder = self._cylinder(extent.physical_page(start)
+                                  if extent.num_pages else extent.start_page)
+        return keys, cylinder
+
+    def index_page_keys(self, relation: str, site: int, attribute: str,
+                        descent_levels: int, leaf_span: int,
+                        position: float, leaf_pages: int):
+        """Page keys of an index traversal (internal levels + leaves).
+
+        Internal pages are modeled one per level along the descent path
+        (their exact identity barely matters: there are only a handful
+        per fragment); leaf identity follows the predicate's position.
+        """
+        keys = [(relation, site, "idx", attribute, "internal", level)
+                for level in range(descent_levels)]
+        if leaf_pages > 0 and leaf_span > 0:
+            first = min(int(position * leaf_pages), leaf_pages - 1)
+            keys += [(relation, site, "idx", attribute, "leaf",
+                      min(first + i, leaf_pages - 1))
+                     for i in range(leaf_span)]
+        return keys
+
+    def sequential_run_cylinder(self, relation: str, site: int,
+                                num_pages: int, rng: random.Random) -> int:
+        """Cylinder where a *num_pages* sequential run starts."""
+        extent = self.entry(relation).sites[site].base_extent
+        slack = max(extent.num_pages - num_pages, 0)
+        start = extent.start_page + (rng.randrange(slack + 1) if slack else 0)
+        return self._cylinder(start)
+
+    def aux_read_cylinder(self, relation: str, site: int, attribute: str,
+                          rng: random.Random) -> int:
+        """Cylinder of a random page of the site's auxiliary extent."""
+        extent = self.entry(relation).sites[site].aux_extents[attribute]
+        if extent.num_pages == 0:
+            page = extent.start_page
+        else:
+            page = extent.physical_page(rng.randrange(extent.num_pages))
+        return self._cylinder(page)
+
+    def aux_sequential_run_cylinder(self, relation: str, site: int,
+                                    attribute: str, num_pages: int,
+                                    rng: random.Random) -> int:
+        """Cylinder where a sequential auxiliary-leaf run starts."""
+        extent = self.entry(relation).sites[site].aux_extents[attribute]
+        slack = max(extent.num_pages - num_pages, 0)
+        start = extent.start_page + (rng.randrange(slack + 1) if slack else 0)
+        return self._cylinder(start)
+
+    def _cylinder(self, page: int) -> int:
+        geometry = self.params.disk_geometry
+        return min(page // geometry.pages_per_cylinder,
+                   geometry.cylinders - 1)
+
+    # -- optimizer-side costs --------------------------------------------------------
+
+    def localization_instructions(self, relation: str) -> float:
+        """CPU instructions the query manager spends finding home sites.
+
+        At *runtime* the optimizer binary-searches the grid directory's
+        linear scales and then walks the covered band of entries; the
+        linear-search-half-the-directory term of equation 1 is the
+        conservative estimate MAGIC uses at *declustering* time to pick
+        M (see :class:`~repro.core.cost_model.MagicCostModel`), not the
+        per-query cost.  Range and BERD search a ~P-entry boundary table.
+        """
+        placement = self.entry(relation).placement
+        per_entry = self.params.directory_entry_search_instructions
+        if isinstance(placement, MagicPlacement):
+            scales = sum(math.ceil(math.log2(max(n, 2)))
+                         for n in placement.directory.shape)
+            band = max(placement.directory.shape)  # covered-entry walk
+            return (scales + band) * per_entry
+        return placement.num_sites * per_entry

@@ -1,0 +1,67 @@
+"""The per-node CPU module (paper §5).
+
+"The CPU module enforces a FCFS non-preemptive scheduling paradigm on all
+requests, except for byte transfers to/from the disk's FIFO buffer."
+
+We model this with a single-server priority resource: normal work queues
+FCFS at priority :data:`NORMAL_PRIORITY`; DMA transfers from the disk's
+FIFO buffer enter at :data:`DMA_PRIORITY` and therefore run ahead of any
+*queued* normal work (the request in service is never preempted --
+non-preemptive, as in the paper).
+"""
+
+from __future__ import annotations
+
+from ..des import Environment, PriorityResource, UtilizationMonitor
+from .params import SimulationParameters
+
+__all__ = ["Cpu", "DMA_PRIORITY", "NORMAL_PRIORITY"]
+
+#: Priority class of disk-FIFO byte transfers (served first).
+DMA_PRIORITY = 0
+#: Priority class of all other CPU work.
+NORMAL_PRIORITY = 1
+
+
+class Cpu:
+    """One processor's CPU: a 3-MIPS single server with DMA priority."""
+
+    def __init__(self, env: Environment, params: SimulationParameters,
+                 name: str = "cpu"):
+        self.env = env
+        self.params = params
+        self.name = name
+        self._server = PriorityResource(env, capacity=1)
+        self.monitor = UtilizationMonitor.attach(self._server, name)
+        self.busy_seconds = 0.0
+
+    def execute(self, instructions: float, priority: int = NORMAL_PRIORITY):
+        """Process generator: run *instructions* on this CPU.
+
+        Usage: ``yield from cpu.execute(14_600)``.
+        """
+        if instructions < 0:
+            raise ValueError(f"negative instruction count {instructions}")
+        if instructions == 0:
+            return
+        service = self.params.instructions_to_seconds(instructions)
+        with self._server.request(priority=priority) as req:
+            yield req
+            yield self.env.timeout(service)
+            self.busy_seconds += service
+
+    def execute_dma(self, instructions: float):
+        """Run a disk-FIFO byte transfer (high-priority CPU burst)."""
+        yield from self.execute(instructions, priority=DMA_PRIORITY)
+
+    @property
+    def queue_length(self) -> int:
+        return self._server.queue_length
+
+    def utilization(self) -> float:
+        """Busy fraction since the monitor's last reset."""
+        return self.monitor.utilization(self.env.now)
+
+    def reset_stats(self) -> None:
+        self.monitor.reset(self.env.now)
+        self.busy_seconds = 0.0

@@ -1,0 +1,158 @@
+"""The per-node Disk Manager (paper §5).
+
+"The Disk Manager schedules disk requests to an attached disk according
+to the elevator algorithm [TP72].  In order to accurately reflect the
+hardware currently being used by Gamma, the disk manager interrupts the
+CPU when there are bytes to be transferred from the I/O channel's FIFO
+buffer to memory or vice versa."
+
+Model
+-----
+* One arm; requests carry a target cylinder, a page count and a
+  *sequential* flag.
+* The elevator (SCAN) picks, among queued requests, the nearest cylinder
+  in the current sweep direction, reversing at the ends.
+* Service time = settle + seek(distance) + rotational latency (uniform
+  in [0, 16.68 ms]) + per-page transfer; a *sequential* request already
+  positioned at the arm's cylinder skips the positioning phases
+  entirely (streaming read).
+* After each page lands in the FIFO buffer, the disk interrupts the CPU
+  for the 4000-instruction DMA transfer (Table 2) at DMA priority and
+  waits for it -- the FIFO backpressure that couples disk and CPU load.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..des import Environment, Event, TallyMonitor
+from .cpu import Cpu
+from .params import SimulationParameters
+
+__all__ = ["Disk", "DiskRequest"]
+
+
+@dataclass
+class DiskRequest:
+    """One queued disk operation."""
+
+    cylinder: int
+    num_pages: int
+    sequential: bool
+    is_write: bool
+    done: Event
+    enqueued_at: float
+
+
+class Disk:
+    """One disk drive with an elevator-scheduled request queue."""
+
+    def __init__(self, env: Environment, params: SimulationParameters,
+                 cpu: Cpu, seed: int = 0, name: str = "disk"):
+        self.env = env
+        self.params = params
+        self.cpu = cpu
+        self.name = name
+        self._rng = random.Random(seed)
+        self._pending: List[DiskRequest] = []
+        self._arrival: Optional[Event] = None
+        self._current_cylinder = 0
+        self._sweep_up = True
+        self.busy_seconds = 0.0
+        self.wait_times = TallyMonitor(f"{name}.wait")
+        self.requests_served = 0
+        env.process(self._serve_loop())
+
+    # -- public API ------------------------------------------------------
+
+    def submit(self, cylinder: int, num_pages: int,
+               sequential: bool = False, is_write: bool = False) -> Event:
+        """Queue an operation; the returned event fires on completion."""
+        if num_pages <= 0:
+            raise ValueError(f"request for {num_pages} pages")
+        geometry = self.params.disk_geometry
+        if not 0 <= cylinder < geometry.cylinders:
+            raise ValueError(f"cylinder {cylinder} outside disk")
+        request = DiskRequest(cylinder=cylinder, num_pages=num_pages,
+                              sequential=sequential, is_write=is_write,
+                              done=Event(self.env),
+                              enqueued_at=self.env.now)
+        self._pending.append(request)
+        if self._arrival is not None and not self._arrival.triggered:
+            self._arrival.succeed()
+        return request.done
+
+    def read(self, cylinder: int, num_pages: int, sequential: bool = False):
+        """Process generator: read and wait for completion."""
+        yield self.submit(cylinder, num_pages, sequential=sequential)
+
+    def write(self, cylinder: int, num_pages: int, sequential: bool = False):
+        """Process generator: write and wait for completion."""
+        yield self.submit(cylinder, num_pages, sequential=sequential,
+                          is_write=True)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._pending)
+
+    def reset_stats(self) -> None:
+        self.busy_seconds = 0.0
+        self.requests_served = 0
+        self.wait_times.reset()
+
+    # -- elevator ----------------------------------------------------------
+
+    def _pick_next(self) -> DiskRequest:
+        """SCAN: nearest request in the sweep direction; reverse at ends."""
+        ahead = [r for r in self._pending
+                 if (r.cylinder >= self._current_cylinder) == self._sweep_up
+                 or r.cylinder == self._current_cylinder]
+        if not ahead:
+            self._sweep_up = not self._sweep_up
+            ahead = self._pending
+        chosen = min(ahead,
+                     key=lambda r: abs(r.cylinder - self._current_cylinder))
+        self._pending.remove(chosen)
+        return chosen
+
+    def _serve_loop(self):
+        while True:
+            if not self._pending:
+                self._arrival = Event(self.env)
+                yield self._arrival
+                self._arrival = None
+            request = self._pick_next()
+            yield from self._service(request)
+
+    def _service(self, request: DiskRequest):
+        start = self.env.now
+        self.wait_times.record(start - request.enqueued_at)
+
+        distance = abs(request.cylinder - self._current_cylinder)
+        repositioning = not (request.sequential and distance == 0)
+        if repositioning:
+            positioning = (self.params.disk_settle_seconds
+                           + self.params.seek_seconds(distance)
+                           + self._rng.uniform(
+                               0.0, self.params.disk_max_latency_seconds))
+            yield self.env.timeout(positioning)
+            self.busy_seconds += positioning
+        self._current_cylinder = request.cylinder
+
+        transfer = self.params.page_transfer_seconds()
+        for _ in range(request.num_pages):
+            yield self.env.timeout(transfer)
+            self.busy_seconds += transfer
+            # FIFO buffer full: interrupt the CPU for the DMA transfer.
+            yield from self.cpu.execute_dma(
+                self.params.dma_instructions_per_page)
+
+        # Streaming advances the arm across cylinders.
+        span = request.num_pages // self.params.disk_geometry.pages_per_cylinder
+        limit = self.params.disk_geometry.cylinders - 1
+        self._current_cylinder = min(self._current_cylinder + span, limit)
+
+        self.requests_served += 1
+        request.done.succeed(self.env.now - start)

@@ -1,0 +1,154 @@
+"""Whole-machine assembly and the run API (Figure 7).
+
+:class:`GammaMachine` wires together P operator nodes (CPU + elevator
+disk + NIC + operator manager), the dedicated scheduler node hosting the
+Query Manager / Query Scheduler / System Catalog, the fully connected
+network, and a terminal pool, then runs a closed-loop experiment and
+reports throughput, response times and utilizations.
+
+Typical use::
+
+    placement = MagicStrategy(...).partition(relation, 32)
+    machine = GammaMachine(placement, indexes={"unique1": False,
+                                               "unique2": True})
+    result = machine.run(source, multiprogramming_level=16,
+                         measured_queries=500)
+    print(result.throughput)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.strategy import Placement
+from ..des import Environment
+from ..storage.pages import DiskLayout
+from .catalog import SystemCatalog
+from .cpu import Cpu
+from .metrics import RunMetrics, RunResult
+from .network import Network
+from .node import OperatorNode
+from .params import GAMMA_PARAMETERS, SimulationParameters
+from .scheduler import QueryScheduler
+from .terminal import QuerySource, TerminalPool
+
+__all__ = ["GammaMachine"]
+
+
+class GammaMachine:
+    """A simulated Gamma configuration loaded with one declustered relation.
+
+    Parameters
+    ----------
+    placement:
+        The declustered relation (decides routing and per-site fragments).
+    indexes:
+        attribute -> clustered? for the indexes built at every site (the
+        paper: non-clustered on A, clustered on B).
+    params:
+        Simulation parameters (defaults to Table 2).
+    seed:
+        Root seed for disk latencies and physical placement randomness.
+    """
+
+    def __init__(self, placement: Placement, indexes: Dict[str, bool],
+                 params: SimulationParameters = GAMMA_PARAMETERS,
+                 seed: int = 0):
+        if placement.num_sites != params.num_processors:
+            params = params.with_overrides(
+                num_processors=placement.num_sites)
+        self.params = params
+        self.placement = placement
+        self.env = Environment()
+        self.network = Network(self.env, params)
+        self.catalog = SystemCatalog(params)
+
+        self.nodes: List[OperatorNode] = [
+            OperatorNode(self.env, node_id, params, self.network,
+                         self.catalog, seed=seed * 1000 + node_id)
+            for node_id in range(placement.num_sites)
+        ]
+        self.scheduler_node_id = placement.num_sites
+        self.scheduler_cpu = Cpu(self.env, params, name="sched-cpu")
+        scheduler_endpoint = self.network.attach(self.scheduler_node_id,
+                                                 self.scheduler_cpu)
+        self.scheduler = QueryScheduler(
+            self.env, params, self.scheduler_node_id, scheduler_endpoint,
+            self.network, self.catalog)
+
+        self._layouts = [DiskLayout(params.disk_geometry)
+                         for _ in self.nodes]
+        self.catalog.register(placement, indexes, self._layouts)
+
+        self.metrics = RunMetrics(self.env)
+        self._seed = seed
+
+    def add_relation(self, placement: Placement,
+                     indexes: Dict[str, bool]) -> None:
+        """Load a further declustered relation onto the same machine.
+
+        The new relation's fragments and indexes are allocated after the
+        existing ones on each node's disk; queries address relations by
+        name, so a workload can mix both.
+        """
+        if placement.num_sites != len(self.nodes):
+            raise ValueError(
+                f"placement spans {placement.num_sites} sites, machine "
+                f"has {len(self.nodes)}")
+        self.catalog.register(placement, indexes, self._layouts)
+
+    # -- running experiments ----------------------------------------------
+
+    def run(self, source: QuerySource, multiprogramming_level: int,
+            measured_queries: int = 500,
+            warmup_queries: Optional[int] = None) -> RunResult:
+        """Run a closed-loop experiment and return its summary.
+
+        ``warmup_queries`` completions are discarded (default: one per
+        terminal, at least 32) before the measurement window opens; the
+        run ends after ``measured_queries`` further completions.
+        """
+        if measured_queries <= 0:
+            raise ValueError("measured_queries must be positive")
+        if warmup_queries is None:
+            warmup_queries = max(multiprogramming_level, 32)
+
+        terminals = TerminalPool(self.env, self.scheduler, source,
+                                 self.metrics, seed=self._seed)
+        terminals.start(multiprogramming_level)
+
+        self.env.run(until=self.metrics.on_completion_count(warmup_queries))
+        self._reset_all_stats()
+        self.metrics.reset_window()
+        self.env.run(until=self.metrics.on_completion_count(
+            warmup_queries + measured_queries))
+
+        return self._summarize(multiprogramming_level)
+
+    def _reset_all_stats(self) -> None:
+        for node in self.nodes:
+            node.reset_stats()
+        self.scheduler_cpu.reset_stats()
+        self.network.reset_stats()
+
+    def _summarize(self, multiprogramming_level: int) -> RunResult:
+        now = self.env.now
+        elapsed = now - self.metrics.window_start
+        cpu_util = sum(n.cpu_utilization(now) for n in self.nodes) \
+            / len(self.nodes)
+        disk_util = sum(n.disk.busy_seconds for n in self.nodes) \
+            / (len(self.nodes) * elapsed) if elapsed > 0 else 0.0
+        return RunResult(
+            multiprogramming_level=multiprogramming_level,
+            throughput=self.metrics.throughput(),
+            completed=self.metrics.completed_window,
+            elapsed_seconds=elapsed,
+            response_time_mean=self.metrics.mean_response_time(),
+            response_time_by_type={
+                name: monitor.mean
+                for name, monitor in self.metrics.response_times.items()},
+            cpu_utilization=cpu_util,
+            disk_utilization=disk_util,
+            scheduler_cpu_utilization=self.scheduler_cpu.utilization(),
+            messages_sent=self.network.messages_sent,
+            throughput_ci=self.metrics.throughput_confidence())

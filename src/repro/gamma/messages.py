@@ -1,0 +1,116 @@
+"""Message types exchanged between the simulated Gamma components.
+
+All inter-site coordination travels through :class:`~repro.gamma.network.
+Network` as one of these messages, paying the Table 2 send costs plus
+CPU handling on both ends.  Control messages are
+``control_message_bytes`` (100 bytes); result packets carry up to 36
+tuples of 208 bytes (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = [
+    "SelectRequest",
+    "ProbeRequest",
+    "ProbeReply",
+    "InsertRequest",
+    "AuxInsertRequest",
+    "ResultPacket",
+    "OperatorDone",
+]
+
+
+@dataclass(frozen=True)
+class SelectRequest:
+    """Scheduler -> operator site: start a selection on the local fragment.
+
+    ``matches`` is the number of fragment tuples satisfying the
+    predicate (the simulator resolves it from the placement so the
+    operator model can charge exact index and tuple costs -- a site with
+    ``matches == 0`` still pays the index descent, the waste the paper
+    highlights).
+    """
+
+    query_id: int
+    site: int
+    relation: str
+    attribute: str
+    clustered_index: bool
+    matches: int
+    reply_to: int
+    #: Predicate position within the attribute domain, in [0, 1); used
+    #: by the explicit buffer pool to identify which pages a clustered
+    #: run / leaf walk touches.
+    position: float = 0.5
+
+
+@dataclass(frozen=True)
+class ProbeRequest:
+    """Scheduler -> auxiliary-index site (BERD step 1)."""
+
+    query_id: int
+    site: int
+    relation: str
+    attribute: str
+    matches: int
+    reply_to: int
+    position: float = 0.5
+
+
+@dataclass(frozen=True)
+class ProbeReply:
+    """Auxiliary-index site -> scheduler: homes of qualifying tuples."""
+
+    query_id: int
+    site: int
+
+
+@dataclass(frozen=True)
+class InsertRequest:
+    """Scheduler -> home site: add one tuple to the local fragment.
+
+    The operator reads the target data page, writes it back, and updates
+    each local index (extension; the paper's workload is read-only).
+    """
+
+    query_id: int
+    site: int
+    relation: str
+    reply_to: int
+    position: float = 0.5
+
+
+@dataclass(frozen=True)
+class AuxInsertRequest:
+    """Scheduler -> auxiliary site: record a new tuple's secondary value.
+
+    BERD's per-insert maintenance: one of these per secondary attribute,
+    on top of the base insert."""
+
+    query_id: int
+    site: int
+    relation: str
+    attribute: str
+    reply_to: int
+    position: float = 0.5
+
+
+@dataclass(frozen=True)
+class ResultPacket:
+    """Operator site -> scheduler: up to 36 result tuples."""
+
+    query_id: int
+    site: int
+    num_tuples: int
+
+
+@dataclass(frozen=True)
+class OperatorDone:
+    """Operator site -> scheduler: selection finished at this site."""
+
+    query_id: int
+    site: int
+    tuples_returned: int

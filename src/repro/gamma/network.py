@@ -1,0 +1,120 @@
+"""Network interfaces and the global communication network (paper §5).
+
+"The Network Interface manager enforces a FCFS protocol for access to
+the global communications network.  The Network module currently models
+a fully connected network."
+
+A message send therefore costs:
+
+* CPU handling on the sender (protocol instructions);
+* the sender NIC held for the Table 2 send time (0.6 ms at 100 bytes,
+  5.6 ms at 8 KB, linear in between);
+* the receiver NIC held for the same duration (fully connected network:
+  no shared-medium contention, only endpoint serialization);
+* CPU handling on the receiver, after which the message lands in the
+  receiver's mailbox.
+
+The sender NIC is released before the receiver NIC is requested, so no
+hold-and-wait cycle (and hence no deadlock) can occur.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from ..des import Environment, Resource, Store, UtilizationMonitor
+from .cpu import Cpu
+from .params import SimulationParameters
+
+__all__ = ["Network", "NetworkEndpoint"]
+
+
+@dataclass
+class NetworkEndpoint:
+    """One node's attachment: its CPU, NIC and incoming mailbox."""
+
+    node_id: int
+    cpu: Cpu
+    nic: Resource
+    mailbox: Store
+
+
+class Network:
+    """Fully connected interconnect between endpoints."""
+
+    def __init__(self, env: Environment, params: SimulationParameters):
+        self.env = env
+        self.params = params
+        self._endpoints: Dict[int, NetworkEndpoint] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def attach(self, node_id: int, cpu: Cpu) -> NetworkEndpoint:
+        """Register a node and return its endpoint."""
+        if node_id in self._endpoints:
+            raise ValueError(f"node {node_id} already attached")
+        endpoint = NetworkEndpoint(
+            node_id=node_id, cpu=cpu,
+            nic=Resource(self.env, capacity=1),
+            mailbox=Store(self.env))
+        UtilizationMonitor.attach(endpoint.nic, f"nic{node_id}")
+        self._endpoints[node_id] = endpoint
+        return endpoint
+
+    def endpoint(self, node_id: int) -> NetworkEndpoint:
+        try:
+            return self._endpoints[node_id]
+        except KeyError:
+            raise KeyError(f"no node {node_id} attached") from None
+
+    def send(self, src: int, dst: int, num_bytes: int, message: Any) -> None:
+        """Fire-and-forget: spawn the delivery process for one message."""
+        self.env.process(self.deliver(src, dst, num_bytes, message))
+
+    def deliver_external(self, src: int, num_bytes: int):
+        """Process generator: ship a message out of the simulated machine.
+
+        Result tuples stream to the submitting host (Gamma's VAX front
+        end), which is outside the 32-processor system: the sender pays
+        its CPU handling and NIC occupancy, but no receiver inside the
+        machine is contended.
+        """
+        sender = self.endpoint(src)
+        self.messages_sent += 1
+        self.bytes_sent += num_bytes
+        yield from sender.cpu.execute(
+            self.params.message_handling_instructions)
+        with sender.nic.request() as req:
+            yield req
+            yield self.env.timeout(
+                self.params.network_occupancy_seconds(num_bytes))
+        yield self.env.timeout(self.params.network_latency_seconds())
+
+    def deliver(self, src: int, dst: int, num_bytes: int, message: Any):
+        """Process generator: full delivery path of one message."""
+        sender = self.endpoint(src)
+        receiver = self.endpoint(dst)
+        self.messages_sent += 1
+        self.bytes_sent += num_bytes
+
+        handling = self.params.message_handling_instructions
+        yield from sender.cpu.execute(handling)
+
+        if src != dst:
+            occupancy = self.params.network_occupancy_seconds(num_bytes)
+            with sender.nic.request() as req:
+                yield req
+                yield self.env.timeout(occupancy)
+            # Fixed protocol latency: a pure delay, no resource held.
+            yield self.env.timeout(self.params.network_latency_seconds())
+            with receiver.nic.request() as req:
+                yield req
+                yield self.env.timeout(occupancy)
+            yield from receiver.cpu.execute(handling)
+
+        receiver.mailbox.put(message)
+
+    def reset_stats(self) -> None:
+        self.messages_sent = 0
+        self.bytes_sent = 0

@@ -1,0 +1,224 @@
+"""The Query Manager and Query Scheduler (paper §5).
+
+"The Query Manager constructs a query plan for executing a multi-site
+query.  The Query Scheduler coordinates the execution of the operators
+of a multi-site query."
+
+Both live on the dedicated scheduler node (Figure 7).  For each query:
+
+1. the query manager plans it and localizes execution by consulting the
+   catalog's partitioning information (paying plan + localization CPU);
+2. for BERD queries on a secondary attribute, the scheduler first runs
+   the *probe phase*: it ships probe requests to the auxiliary-index
+   site(s) and waits for every reply -- the sequential first step of §2;
+3. the scheduler ships a select request to each target site (each send
+   costs scheduler CPU and NIC time -- this linear-in-sites overhead is
+   MAGIC's "cost of participation" CP);
+4. it collects result packets and done messages from every site, then
+   completes the query back to the submitting terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..core.strategy import Placement, RangePredicate
+from ..des import Environment, Event
+from .catalog import SystemCatalog
+from .messages import (
+    AuxInsertRequest,
+    InsertRequest,
+    OperatorDone,
+    ProbeReply,
+    ProbeRequest,
+    ResultPacket,
+    SelectRequest,
+)
+from .network import Network, NetworkEndpoint
+from .params import SimulationParameters
+
+__all__ = ["QueryScheduler", "QueryHandle"]
+
+
+@dataclass
+class QueryHandle:
+    """Tracks one in-flight query; ``completion`` fires when it finishes."""
+
+    query_id: int
+    query_type: str
+    completion: Event
+    submitted_at: float
+    pending_probes: int = 0
+    pending_done: int = 0
+    probes_complete: Optional[Event] = None
+    tuples_returned: int = 0
+    sites_used: int = 0
+
+
+class QueryScheduler:
+    """Plans, localizes and coordinates selection queries."""
+
+    def __init__(self, env: Environment, params: SimulationParameters,
+                 node_id: int, endpoint: NetworkEndpoint, network: Network,
+                 catalog: SystemCatalog):
+        self.env = env
+        self.params = params
+        self.node_id = node_id
+        self.endpoint = endpoint
+        self.network = network
+        self.catalog = catalog
+        self._queries: Dict[int, QueryHandle] = {}
+        self._next_id = 0
+        env.process(self._dispatch_loop())
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, relation: str, query_type: str,
+               predicate: RangePredicate) -> QueryHandle:
+        """Enter a query into the system; returns its handle."""
+        self._next_id += 1
+        handle = QueryHandle(query_id=self._next_id, query_type=query_type,
+                             completion=Event(self.env),
+                             submitted_at=self.env.now)
+        self._queries[handle.query_id] = handle
+        self.env.process(self._run_query(handle, relation, predicate))
+        return handle
+
+    def submit_insert(self, relation: str, values: Dict[str, int],
+                      query_type: str = "INSERT") -> QueryHandle:
+        """Insert one tuple; returns a handle like :meth:`submit`.
+
+        The tuple goes to its home site; BERD placements additionally
+        update one auxiliary fragment per secondary attribute (the
+        sequential-maintenance cost the read-only paper never charges
+        them for).
+        """
+        self._next_id += 1
+        handle = QueryHandle(query_id=self._next_id, query_type=query_type,
+                             completion=Event(self.env),
+                             submitted_at=self.env.now)
+        self._queries[handle.query_id] = handle
+        self.env.process(self._run_insert(handle, relation, values))
+        return handle
+
+    def _run_insert(self, handle: QueryHandle, relation: str,
+                    values: Dict[str, int]):
+        cpu = self.endpoint.cpu
+        placement = self.catalog.entry(relation).placement
+        yield from cpu.execute(self.params.query_plan_instructions)
+        yield from cpu.execute(
+            self.catalog.localization_instructions(relation))
+
+        home = placement.site_for_tuple(values)
+        targets = [(home, None)]
+        aux_site_for = getattr(placement, "aux_site_for", None)
+        if aux_site_for is not None:
+            for attribute in placement.auxiliaries:
+                if attribute in values:
+                    targets.append(
+                        (aux_site_for(attribute, values[attribute]),
+                         attribute))
+
+        handle.pending_done = len(targets)
+        handle.sites_used = len({site for site, _ in targets})
+        domain = max(placement.relation.cardinality, 1)
+        for site, attribute in targets:
+            if attribute is None:
+                message = InsertRequest(
+                    query_id=handle.query_id, site=site, relation=relation,
+                    reply_to=self.node_id)
+            else:
+                message = AuxInsertRequest(
+                    query_id=handle.query_id, site=site, relation=relation,
+                    attribute=attribute, reply_to=self.node_id,
+                    position=min(values[attribute] / domain, 0.999999))
+            yield from self.network.deliver(
+                self.node_id, site, self.params.control_message_bytes,
+                message)
+
+    # -- coordination -----------------------------------------------------------
+
+    def _run_query(self, handle: QueryHandle, relation: str,
+                   predicate: RangePredicate):
+        cpu = self.endpoint.cpu
+        placement = self.catalog.entry(relation).placement
+
+        # Query manager: plan + localize.
+        yield from cpu.execute(self.params.query_plan_instructions)
+        yield from cpu.execute(
+            self.catalog.localization_instructions(relation))
+        decision = placement.route(predicate)
+        handle.sites_used = decision.site_count
+
+        # Predicate position within the domain, for buffer-pool page ids.
+        domain = max(placement.relation.cardinality, 1)
+        position = min(max(predicate.low / domain, 0.0), 0.999999)
+
+        # BERD step 1: probe the auxiliary index, wait for every reply.
+        if decision.is_two_phase:
+            handle.pending_probes = len(decision.probe_sites)
+            handle.probes_complete = Event(self.env)
+            for site, matches in zip(decision.probe_sites,
+                                     decision.probe_matches):
+                yield from self.network.deliver(
+                    self.node_id, site, self.params.control_message_bytes,
+                    ProbeRequest(query_id=handle.query_id, site=site,
+                                 relation=relation,
+                                 attribute=predicate.attribute,
+                                 matches=matches, reply_to=self.node_id,
+                                 position=position))
+            yield handle.probes_complete
+
+        # Step 2: the selection proper on each target site.
+        targets = decision.target_sites
+        if targets:
+            counts = placement.qualifying_counts(predicate)
+            clustered = self.catalog.entry(relation).indexes.get(
+                predicate.attribute, False)
+            handle.pending_done = len(targets)
+            for site in targets:
+                yield from self.network.deliver(
+                    self.node_id, site, self.params.control_message_bytes,
+                    SelectRequest(query_id=handle.query_id, site=site,
+                                  relation=relation,
+                                  attribute=predicate.attribute,
+                                  clustered_index=clustered,
+                                  matches=int(counts[site]),
+                                  reply_to=self.node_id,
+                                  position=position))
+            # Completion is triggered by the dispatch loop when the last
+            # done message arrives.
+        else:
+            self._finish(handle)
+
+    def _finish(self, handle: QueryHandle) -> None:
+        del self._queries[handle.query_id]
+        handle.completion.succeed(handle)
+
+    # -- incoming messages -------------------------------------------------------
+
+    def _dispatch_loop(self):
+        while True:
+            message = yield self.endpoint.mailbox.get()
+            handle = self._queries.get(message.query_id)
+            if handle is None:
+                continue  # late packet of an already-finished query
+            if isinstance(message, ProbeReply):
+                handle.pending_probes -= 1
+                if handle.pending_probes == 0:
+                    handle.probes_complete.succeed()
+            elif isinstance(message, OperatorDone):
+                handle.tuples_returned += message.tuples_returned
+                handle.pending_done -= 1
+                if handle.pending_done == 0:
+                    self._finish(handle)
+            elif isinstance(message, ResultPacket):
+                pass  # delivery costs already charged by the network
+            else:
+                raise TypeError(
+                    f"scheduler cannot handle {type(message).__name__}")
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._queries)

@@ -1,0 +1,100 @@
+"""The Terminal module: the closed-system workload driver (paper §5-§6).
+
+"The Terminal module provides the entry point for new queries."  The
+multiprogramming level is the number of terminals; each terminal submits
+a query, waits for its completion, and immediately submits the next one
+(zero think time) -- the standard closed-loop model behind the paper's
+throughput-vs-MPL curves.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Tuple
+
+from ..core.strategy import RangePredicate
+from ..des import Environment
+from .metrics import RunMetrics
+from .scheduler import QueryScheduler
+
+__all__ = ["TerminalPool", "OpenArrivalSource", "QuerySource"]
+
+#: A workload source: rng -> (query_type, relation, predicate).
+QuerySource = Callable[[random.Random], Tuple[str, str, RangePredicate]]
+
+
+class TerminalPool:
+    """A set of closed-loop terminals feeding the scheduler."""
+
+    def __init__(self, env: Environment, scheduler: QueryScheduler,
+                 source: QuerySource, metrics: RunMetrics, seed: int = 0):
+        self.env = env
+        self.scheduler = scheduler
+        self.source = source
+        self.metrics = metrics
+        self.seed = seed
+        self._started = 0
+
+    def start(self, multiprogramming_level: int) -> None:
+        """Spawn the terminal processes (call once per run)."""
+        if multiprogramming_level <= 0:
+            raise ValueError(
+                f"MPL must be positive, got {multiprogramming_level}")
+        if self._started:
+            raise RuntimeError("terminals already started")
+        for i in range(multiprogramming_level):
+            rng = random.Random(self.seed * 100_003 + i)
+            self.env.process(self._terminal(rng))
+        self._started = multiprogramming_level
+
+    def _terminal(self, rng: random.Random):
+        while True:
+            query_type, relation, predicate = self.source(rng)
+            submitted = self.env.now
+            handle = self.scheduler.submit(relation, query_type, predicate)
+            yield handle.completion
+            self.metrics.record_completion(query_type,
+                                           self.env.now - submitted)
+
+
+class OpenArrivalSource:
+    """An open (Poisson-arrival) workload driver.
+
+    Where :class:`TerminalPool` models the paper's closed system (a
+    fixed multiprogramming level), this driver submits queries at an
+    exogenous rate regardless of completions -- useful for measuring
+    response times at a controlled load and for locating each
+    configuration's saturation throughput.  Not used by the paper's
+    experiments; provided as an extension.
+    """
+
+    def __init__(self, env: Environment, scheduler: QueryScheduler,
+                 source: QuerySource, metrics: RunMetrics,
+                 arrivals_per_second: float, seed: int = 0):
+        if arrivals_per_second <= 0:
+            raise ValueError("arrival rate must be positive")
+        self.env = env
+        self.scheduler = scheduler
+        self.source = source
+        self.metrics = metrics
+        self.rate = arrivals_per_second
+        self._rng = random.Random(seed)
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("arrival process already started")
+        self._started = True
+        self.env.process(self._arrivals())
+
+    def _arrivals(self):
+        while True:
+            yield self.env.timeout(self._rng.expovariate(self.rate))
+            query_type, relation, predicate = self.source(self._rng)
+            self.env.process(self._track(relation, query_type, predicate))
+
+    def _track(self, relation, query_type, predicate):
+        submitted = self.env.now
+        handle = self.scheduler.submit(relation, query_type, predicate)
+        yield handle.completion
+        self.metrics.record_completion(query_type, self.env.now - submitted)

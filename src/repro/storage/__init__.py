@@ -1,0 +1,57 @@
+"""Database storage substrate: schemas, relations, pages and indices.
+
+This package holds everything "below" the declustering strategies:
+
+* :mod:`~repro.storage.schema` / :mod:`~repro.storage.relation` -- column
+  relations and fragments with fast per-range tuple counting;
+* :mod:`~repro.storage.wisconsin` -- the Wisconsin benchmark relation with
+  controllable correlation between ``unique1`` and ``unique2``;
+* :mod:`~repro.storage.pages` -- physical page layout (extents, cylinders)
+  enabling accurate sequential-vs-random disk modeling;
+* :mod:`~repro.storage.btree` -- clustered / non-clustered B+-tree access
+  plans (including Yao's formula for scattered fetches).
+"""
+
+from .btree import (
+    BTreeIndex,
+    IndexAccessPlan,
+    sequential_scan_plan,
+    yao_pages_touched,
+)
+from .pages import DiskGeometry, DiskLayout, Extent, pages_for_tuples
+from .relation import Fragment, Relation, union_fragments
+from .schema import INT, STRING, Attribute, Schema
+from .wisconsin import (
+    HIGH_CORRELATION_WINDOW,
+    WISCONSIN_TUPLE_BYTES,
+    correlated_permutation,
+    make_skewed_wisconsin,
+    make_wisconsin,
+    measured_rank_correlation,
+    wisconsin_schema,
+)
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "INT",
+    "STRING",
+    "Relation",
+    "Fragment",
+    "union_fragments",
+    "DiskGeometry",
+    "DiskLayout",
+    "Extent",
+    "pages_for_tuples",
+    "BTreeIndex",
+    "IndexAccessPlan",
+    "yao_pages_touched",
+    "sequential_scan_plan",
+    "make_wisconsin",
+    "make_skewed_wisconsin",
+    "wisconsin_schema",
+    "correlated_permutation",
+    "measured_rank_correlation",
+    "WISCONSIN_TUPLE_BYTES",
+    "HIGH_CORRELATION_WINDOW",
+]

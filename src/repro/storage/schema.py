@@ -1,0 +1,97 @@
+"""Relation schemas.
+
+A schema is an ordered list of attributes with fixed byte widths, exactly
+like the flat record layout of the Gamma storage manager.  The paper's
+experiments use the standard Wisconsin-benchmark relation whose 208-byte
+tuples pack 36 to an 8 KB page (Table 2); :mod:`repro.storage.wisconsin`
+builds that schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["Attribute", "Schema", "INT", "STRING"]
+
+#: Attribute kind tags.
+INT = "int"
+STRING = "string"
+
+_VALID_KINDS = frozenset({INT, STRING})
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One fixed-width attribute of a relation.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, unique within its schema.
+    kind:
+        ``"int"`` or ``"string"``.
+    size_bytes:
+        Storage width of the attribute in a tuple.
+    """
+
+    name: str
+    kind: str = INT
+    size_bytes: int = 4
+
+    def __post_init__(self):
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(f"unknown attribute kind {self.kind!r}")
+        if self.size_bytes <= 0:
+            raise ValueError(f"attribute {self.name!r} has non-positive width")
+
+
+class Schema:
+    """An ordered, named collection of :class:`Attribute` objects."""
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        self._attributes: List[Attribute] = list(attributes)
+        if not self._attributes:
+            raise ValueError("a schema needs at least one attribute")
+        self._by_name: Dict[str, int] = {}
+        for i, attr in enumerate(self._attributes):
+            if attr.name in self._by_name:
+                raise ValueError(f"duplicate attribute name {attr.name!r}")
+            self._by_name[attr.name] = i
+
+    # -- lookups -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self):
+        return iter(self._attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, key) -> Attribute:
+        if isinstance(key, str):
+            return self._attributes[self.index_of(key)]
+        return self._attributes[key]
+
+    def index_of(self, name: str) -> int:
+        """Ordinal position of attribute *name* (raises KeyError if absent)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no attribute {name!r}; have {sorted(self._by_name)}") from None
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    @property
+    def tuple_size_bytes(self) -> int:
+        """Width of one stored tuple (sum of attribute widths)."""
+        return sum(a.size_bytes for a in self._attributes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cols = ", ".join(f"{a.name}:{a.kind}{a.size_bytes}" for a in self)
+        return f"Schema({cols})"

@@ -1,0 +1,37 @@
+"""The multiuser workload of the evaluation (paper §6).
+
+Query specifications (:mod:`~repro.workload.queries`), the four query
+mixes (:mod:`~repro.workload.mixes`) and analytic resource profiles for
+MAGIC's cost model (:mod:`~repro.workload.profiles`).
+"""
+
+from .mixes import MIX_NAMES, CompositeSource, QueryMix, make_mix
+from .profiles import (
+    cost_model_for_mix,
+    cost_of_participation,
+    directory_search_cost,
+    estimate_profile,
+)
+from .queries import (
+    SelectionQuerySpec,
+    qa_low,
+    qa_moderate,
+    qb_low,
+    qb_moderate,
+)
+
+__all__ = [
+    "SelectionQuerySpec",
+    "qa_low",
+    "qb_low",
+    "qa_moderate",
+    "qb_moderate",
+    "QueryMix",
+    "CompositeSource",
+    "make_mix",
+    "MIX_NAMES",
+    "estimate_profile",
+    "cost_of_participation",
+    "directory_search_cost",
+    "cost_model_for_mix",
+]

@@ -1,0 +1,120 @@
+"""The four query mixes of the evaluation (paper §6).
+
+"Consequently, there are four possible query mixes: (QA, QB) in
+{low, moderate}^2 ...  In each experiment, the workload consisted of 50%
+of each query type QA and QB."
+
+A :class:`QueryMix` is callable with the signature the terminal pool
+expects (``rng -> (query_type, relation, predicate)``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..core.strategy import RangePredicate
+from .queries import (
+    SelectionQuerySpec,
+    qa_low,
+    qa_moderate,
+    qb_low,
+    qb_moderate,
+)
+
+__all__ = ["QueryMix", "CompositeSource", "make_mix", "MIX_NAMES"]
+
+#: The paper's four mixes plus the Figure 9 variant.
+MIX_NAMES = ("low-low", "low-moderate", "moderate-low", "moderate-moderate",
+             "low-low-20")
+
+
+@dataclass(frozen=True)
+class QueryMix:
+    """A weighted mixture of selection query types over one relation."""
+
+    name: str
+    relation: str
+    specs: Tuple[SelectionQuerySpec, ...]
+    frequencies: Tuple[float, ...]
+
+    def __post_init__(self):
+        if len(self.specs) != len(self.frequencies):
+            raise ValueError("one frequency per spec required")
+        if not self.specs:
+            raise ValueError("a mix needs at least one query type")
+        if any(f <= 0 for f in self.frequencies):
+            raise ValueError("frequencies must be positive")
+
+    def sample_spec(self, rng: random.Random) -> SelectionQuerySpec:
+        """Draw a query type according to the mix frequencies."""
+        return rng.choices(self.specs, weights=self.frequencies, k=1)[0]
+
+    def __call__(self, rng: random.Random
+                 ) -> Tuple[str, str, RangePredicate]:
+        spec = self.sample_spec(rng)
+        return spec.name, self.relation, spec.make_predicate(rng)
+
+    def spec_named(self, name: str) -> SelectionQuerySpec:
+        for spec in self.specs:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"no query type {name!r} in mix {self.name!r}")
+
+
+@dataclass(frozen=True)
+class CompositeSource:
+    """A weighted mixture of several workload sources (extension).
+
+    Lets one simulation drive queries against multiple relations (each
+    source is typically a :class:`QueryMix` bound to its own relation).
+    """
+
+    sources: Tuple["QueryMix", ...]
+    weights: Tuple[float, ...]
+
+    def __post_init__(self):
+        if len(self.sources) != len(self.weights):
+            raise ValueError("one weight per source required")
+        if not self.sources:
+            raise ValueError("need at least one source")
+        if any(w <= 0 for w in self.weights):
+            raise ValueError("weights must be positive")
+
+    def __call__(self, rng: random.Random
+                 ) -> Tuple[str, str, RangePredicate]:
+        source = rng.choices(self.sources, weights=self.weights, k=1)[0]
+        return source(rng)
+
+
+def make_mix(name: str, relation: str = "R", domain: int = 100_000,
+             qb_low_tuples: int = 10, hot_fraction: float = 1.0,
+             hot_probability: float = 1.0) -> QueryMix:
+    """Build one of the paper's query mixes by name.
+
+    ``low-low-20`` is the Figure 9 variant: the low QB retrieves 20
+    tuples instead of 10 ("we increased the number of tuples that
+    satisfy the predicate of QB from 10 to 20").
+
+    ``hot_fraction`` / ``hot_probability`` apply the hot-spot placement
+    model to every query type (extension; the paper's workload is
+    uniform, the default).
+    """
+    if name == "low-low":
+        specs = (qa_low(domain), qb_low(domain, tuples=qb_low_tuples))
+    elif name == "low-low-20":
+        specs = (qa_low(domain), qb_low(domain, tuples=20))
+    elif name == "low-moderate":
+        specs = (qa_low(domain), qb_moderate(domain))
+    elif name == "moderate-low":
+        specs = (qa_moderate(domain), qb_low(domain, tuples=qb_low_tuples))
+    elif name == "moderate-moderate":
+        specs = (qa_moderate(domain), qb_moderate(domain))
+    else:
+        raise ValueError(f"unknown mix {name!r}; expected one of {MIX_NAMES}")
+    if hot_fraction < 1.0:
+        specs = tuple(spec.with_skew(hot_fraction, hot_probability)
+                      for spec in specs)
+    return QueryMix(name=name, relation=relation, specs=specs,
+                    frequencies=(0.5, 0.5))

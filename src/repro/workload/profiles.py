@@ -1,0 +1,116 @@
+"""Analytic resource profiles feeding MAGIC's cost model (paper §3.2).
+
+MAGIC's inputs are DBA-level estimates: for each query type, its CPU,
+disk and network processing time plus tuples retrieved and execution
+frequency.  This module derives those estimates from the same Table 2
+parameters the simulator uses, so the declustering decision and the
+simulated execution are consistent -- exactly the situation of the
+paper, whose cost model was fed numbers from the validated Gamma model.
+
+The estimates deliberately describe the query's *total* resource demand
+when executed against the whole relation (the declustering-time view;
+the relation is not yet partitioned when MAGIC runs).
+"""
+
+from __future__ import annotations
+
+from ..core.cost_model import MagicCostModel, QueryProfile
+from ..gamma.params import SimulationParameters
+from ..storage.btree import BTreeIndex
+from .mixes import QueryMix
+from .queries import SelectionQuerySpec
+
+__all__ = [
+    "estimate_profile",
+    "cost_of_participation",
+    "directory_search_cost",
+    "cost_model_for_mix",
+]
+
+
+def _average_positioning_seconds(params: SimulationParameters,
+                                 relation_cardinality: int) -> float:
+    """Mean settle + seek + rotational latency of one random access.
+
+    Random accesses of a declustered relation stay within one fragment's
+    extent -- a few dozen cylinders -- so the expected seek distance is
+    one third of the *relation's* cylinder span, not the whole disk's.
+    """
+    pages = max(1, relation_cardinality // params.tuples_per_page)
+    span = max(1, pages // params.disk_geometry.pages_per_cylinder)
+    return (params.disk_settle_seconds
+            + params.seek_seconds(max(1, span // 3))
+            + params.disk_max_latency_seconds / 2.0)
+
+
+def estimate_profile(spec: SelectionQuerySpec,
+                     params: SimulationParameters,
+                     relation_cardinality: int,
+                     frequency: float) -> QueryProfile:
+    """DBA-level :class:`QueryProfile` of one query type."""
+    index = BTreeIndex(relation_cardinality,
+                       tuples_per_page=params.tuples_per_page,
+                       clustered=spec.clustered_index,
+                       fanout=params.btree_fanout,
+                       cached_levels=params.btree_cached_levels,
+                       resident=params.index_pages_resident)
+    plan = index.range_lookup(spec.tuples_retrieved)
+
+    positioning = _average_positioning_seconds(params, relation_cardinality)
+    transfer = params.page_transfer_seconds()
+    disk = plan.random_reads * (positioning + transfer)
+    if plan.sequential_reads:
+        disk += positioning + plan.sequential_reads * transfer
+
+    total_pages = plan.total_reads
+    cpu_instr = (params.operator_startup_instructions
+                 + total_pages * (params.read_page_instructions
+                                  + params.dma_instructions_per_page)
+                 + spec.tuples_retrieved
+                 * params.instructions_per_result_tuple)
+    cpu = params.instructions_to_seconds(cpu_instr)
+
+    packets = params.packets_for_tuples(spec.tuples_retrieved)
+    net = (packets * params.network_send_seconds(params.max_packet_bytes)
+           + 2 * params.network_send_seconds(params.control_message_bytes))
+
+    return QueryProfile(name=spec.name, attribute=spec.attribute,
+                        tuples=spec.tuples_retrieved, cpu_seconds=cpu,
+                        disk_seconds=disk, net_seconds=net,
+                        frequency=frequency)
+
+
+def cost_of_participation(params: SimulationParameters) -> float:
+    """CP: the overhead of employing one additional processor.
+
+    Adding a site to a query costs one start and one done control
+    message (each occupying both NICs plus CPU handling at both ends)
+    and the operator start-up burst at the site.
+    """
+    wire = params.network_send_seconds(params.control_message_bytes)
+    handling = params.instructions_to_seconds(
+        params.message_handling_instructions)
+    per_message = 2 * wire + 2 * handling
+    startup = params.instructions_to_seconds(
+        params.operator_startup_instructions)
+    return 2 * per_message + startup
+
+
+def directory_search_cost(params: SimulationParameters) -> float:
+    """CS: seconds to inspect one grid-directory entry."""
+    return params.instructions_to_seconds(
+        params.directory_entry_search_instructions)
+
+
+def cost_model_for_mix(mix: QueryMix, params: SimulationParameters,
+                       relation_cardinality: int) -> MagicCostModel:
+    """The MAGIC cost model for one of the paper's query mixes."""
+    profiles = [
+        estimate_profile(spec, params, relation_cardinality, freq)
+        for spec, freq in zip(mix.specs, mix.frequencies)
+    ]
+    return MagicCostModel(
+        profiles,
+        cost_of_participation=cost_of_participation(params),
+        directory_search_cost=directory_search_cost(params),
+        relation_cardinality=relation_cardinality)

@@ -1,0 +1,126 @@
+"""Selection query specifications (paper §6).
+
+The workload has two query types: QA references attribute A (unique1,
+non-clustered index) and QB references attribute B (unique2, clustered
+index).  Each is "low" or "moderate":
+
+* QA low       -- single-tuple retrieval through the non-clustered index;
+* QB low       -- 0.01% clustered-index range selection (10 tuples);
+* QA moderate  -- 0.03% non-clustered range selection (30 tuples);
+* QB moderate  -- 0.3% clustered-index range selection (300 tuples).
+
+Because unique1/unique2 are permutations of ``0..N-1``, a range of width
+*k* retrieves exactly *k* tuples, so selectivities are exact.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.strategy import RangePredicate
+
+__all__ = [
+    "SelectionQuerySpec",
+    "qa_low",
+    "qb_low",
+    "qa_moderate",
+    "qb_moderate",
+]
+
+
+@dataclass(frozen=True)
+class SelectionQuerySpec:
+    """One query type of the workload.
+
+    ``tuples_retrieved == 1`` produces equality predicates; anything
+    larger produces a range of exactly that many values.
+
+    Access skew (extension): with probability ``hot_probability`` a
+    query is placed inside the first ``hot_fraction`` of the attribute
+    domain -- the classic hot-spot model (e.g. 0.2 / 0.8 for an 80/20
+    workload).  The paper's experiments use the uniform default.
+    """
+
+    name: str
+    attribute: str
+    tuples_retrieved: int
+    clustered_index: bool
+    domain: int
+    hot_fraction: float = 1.0
+    hot_probability: float = 1.0
+
+    def __post_init__(self):
+        if self.tuples_retrieved < 1:
+            raise ValueError(f"{self.name}: must retrieve >= 1 tuple")
+        if self.tuples_retrieved > self.domain:
+            raise ValueError(f"{self.name}: retrieves more than the domain")
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ValueError(f"{self.name}: hot_fraction outside (0, 1]")
+        if not 0.0 <= self.hot_probability <= 1.0:
+            raise ValueError(f"{self.name}: hot_probability outside [0, 1]")
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of the relation the query retrieves."""
+        return self.tuples_retrieved / self.domain
+
+    @property
+    def is_skewed(self) -> bool:
+        return self.hot_fraction < 1.0 and self.hot_probability > 0.0
+
+    def _draw_low(self, rng: random.Random) -> int:
+        span = self.domain - self.tuples_retrieved + 1
+        if self.is_skewed and rng.random() < self.hot_probability:
+            hot_span = max(1, min(span, int(self.domain * self.hot_fraction)
+                                  - self.tuples_retrieved + 1))
+            return rng.randrange(hot_span)
+        return rng.randrange(span)
+
+    def make_predicate(self, rng: random.Random) -> RangePredicate:
+        """A predicate retrieving exactly the target count."""
+        low = self._draw_low(rng)
+        if self.tuples_retrieved == 1:
+            return RangePredicate.equals(self.attribute, low)
+        return RangePredicate(self.attribute, low,
+                              low + self.tuples_retrieved - 1)
+
+    def with_skew(self, hot_fraction: float,
+                  hot_probability: float) -> "SelectionQuerySpec":
+        """A copy with hot-spot placement parameters."""
+        from dataclasses import replace
+        return replace(self, hot_fraction=hot_fraction,
+                       hot_probability=hot_probability)
+
+
+def qa_low(domain: int = 100_000, attribute: str = "unique1") -> SelectionQuerySpec:
+    """QA with low resource requirements: single-tuple non-clustered fetch."""
+    return SelectionQuerySpec("QA", attribute, 1, clustered_index=False,
+                              domain=domain)
+
+
+def qb_low(domain: int = 100_000, attribute: str = "unique2",
+           tuples: int = 10) -> SelectionQuerySpec:
+    """QB with low resource requirements: 0.01% clustered range (10 tuples).
+
+    ``tuples`` is overridable for the Figure 9 higher-selectivity variant
+    (20 tuples).
+    """
+    return SelectionQuerySpec("QB", attribute, tuples, clustered_index=True,
+                              domain=domain)
+
+
+def qa_moderate(domain: int = 100_000,
+                attribute: str = "unique1") -> SelectionQuerySpec:
+    """QA with moderate requirements: 0.03% non-clustered range (30 tuples)."""
+    tuples = max(1, round(domain * 0.0003))
+    return SelectionQuerySpec("QA", attribute, tuples, clustered_index=False,
+                              domain=domain)
+
+
+def qb_moderate(domain: int = 100_000,
+                attribute: str = "unique2") -> SelectionQuerySpec:
+    """QB with moderate requirements: 0.3% clustered range (300 tuples)."""
+    tuples = max(1, round(domain * 0.003))
+    return SelectionQuerySpec("QB", attribute, tuples, clustered_index=True,
+                              domain=domain)

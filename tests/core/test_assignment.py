@@ -1,0 +1,202 @@
+"""Unit tests for the entry-to-processor assignment heuristics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    assign_entries,
+    block_assignment,
+    factor_slice_targets,
+    optimal_assignment,
+    pattern_moduli,
+    round_robin_assignment,
+    scale_slice_targets,
+)
+
+
+class TestFactorSliceTargets:
+    def test_low_moderate_case_from_paper(self):
+        """§7.2: (M_A, M_B) = (1, 9) on 32 processors -> (2, 16)."""
+        assert factor_slice_targets([1.0, 9.0], 32) == (2, 16)
+
+    def test_symmetric_mixes_give_4_8(self):
+        """§7.1/§7.4: equal M_i on 32 processors -> (4, 8), averaging
+        ~6.4 processors per query, the larger count on the later dim."""
+        assert factor_slice_targets([5.0, 5.0], 32) == (4, 8)
+        assert factor_slice_targets([9.0, 9.0], 32) == (4, 8)
+
+    def test_moderate_low_transposed(self):
+        assert factor_slice_targets([9.0, 1.0], 32) == (16, 2)
+
+    def test_product_always_p(self):
+        for mi in ([1, 1], [2, 5], [0.5, 12], [3, 3]):
+            targets = factor_slice_targets(mi, 32)
+            assert np.prod(targets) == 32
+
+    def test_three_dimensions(self):
+        targets = factor_slice_targets([3.0, 3.0, 3.0], 27)
+        assert targets == (3, 3, 3)
+
+    def test_prime_processor_count(self):
+        targets = factor_slice_targets([2.0, 2.0], 7)
+        assert np.prod(targets) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            factor_slice_targets([], 4)
+        with pytest.raises(ValueError):
+            factor_slice_targets([1.0], 0)
+
+
+class TestScaleSliceTargets:
+    def test_low_moderate_case_from_paper(self):
+        """§7.2: (M_A, M_B) = (1, 9) on 32 processors becomes ~(2, 16)."""
+        ta, tb = scale_slice_targets([1.0, 9.0], 32)
+        assert ta in (2, 3)
+        assert 14 <= tb <= 18
+        assert ta * tb >= 32
+
+    def test_moderate_moderate_case_from_paper(self):
+        """§7.4: (9, 9) on 32 processors -> about (6, 6)."""
+        ta, tb = scale_slice_targets([9.0, 9.0], 32)
+        assert 5 <= ta <= 7
+        assert 5 <= tb <= 7
+
+    def test_large_mi_on_small_machine_shrinks_to_cover(self):
+        # (9, 9) on 4 processors: the pattern only needs product >= P.
+        targets = scale_slice_targets([9.0, 9.0], 4)
+        assert targets == (2, 2)
+
+    def test_product_covers_machine(self):
+        for mi in ([1, 1], [2, 5], [3, 3, 3], [0.5, 12]):
+            targets = scale_slice_targets(mi, 32)
+            assert np.prod(targets) >= 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scale_slice_targets([], 4)
+        with pytest.raises(ValueError):
+            scale_slice_targets([1.0], 0)
+
+
+class TestPatternModuli:
+    def test_two_dims_swap(self):
+        assert pattern_moduli((2, 16)) == (16, 2)
+
+    def test_one_dim_identity(self):
+        assert pattern_moduli((5,)) == (5,)
+
+    def test_three_dims_product_constraint(self):
+        targets = (4, 4, 4)
+        moduli = pattern_moduli(targets)
+        for d in range(3):
+            others = int(np.prod([m for e, m in enumerate(moduli) if e != d]))
+            assert others == pytest.approx(targets[d], abs=1)
+
+
+class TestBlockAssignment:
+    def test_slice_diversity_two_dims(self):
+        # targets: 4 procs per a-slice, 8 per b-slice -> moduli (8, 4).
+        assign = block_assignment((40, 40), (8, 4), 32)
+        for ia in range(40):
+            assert len(np.unique(assign[ia, :])) == 4
+        for ib in range(40):
+            assert len(np.unique(assign[:, ib])) == 8
+
+    def test_uses_whole_machine(self):
+        assign = block_assignment((40, 40), (8, 4), 32)
+        assert len(np.unique(assign)) == 32
+
+    def test_entry_balance_reasonable(self):
+        assign = block_assignment((62, 61), (8, 4), 32)
+        counts = np.bincount(assign.ravel(), minlength=32)
+        assert counts.min() > 0
+        assert counts.max() <= 1.4 * counts.mean()
+
+    def test_paper_low_moderate_pattern(self):
+        """23x193 grid, targets (2, 16) -> moduli (16, 2): each a-slice
+        ~2 procs, each b-slice ~16 procs."""
+        assign = block_assignment((23, 193), (16, 2), 32)
+        a_slice_procs = [len(np.unique(assign[i, :])) for i in range(23)]
+        b_slice_procs = [len(np.unique(assign[:, j])) for j in range(193)]
+        assert max(a_slice_procs) == 2
+        assert 14 <= np.mean(b_slice_procs) <= 16
+
+    def test_shape_moduli_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            block_assignment((4, 4), (2,), 8)
+
+
+class TestRoundRobin:
+    def test_cyclic(self):
+        assert round_robin_assignment(7, 3).tolist() == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_balanced(self):
+        counts = np.bincount(round_robin_assignment(100, 8), minlength=8)
+        assert counts.max() - counts.min() <= 1
+
+
+class TestAssignEntries:
+    def test_one_dimension_round_robin(self):
+        assign = assign_entries((10,), [3.0], 4)
+        assert assign.tolist() == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+    def test_moduli_clamped_to_shape(self):
+        # 3 slices cannot host a modulus of 16.
+        assign = assign_entries((3, 100), [1.0, 9.0], 32)
+        assert assign.shape == (3, 100)
+
+    @given(
+        na=st.integers(min_value=2, max_value=40),
+        nb=st.integers(min_value=2, max_value=40),
+        mi_a=st.floats(min_value=0.5, max_value=10),
+        mi_b=st.floats(min_value=0.5, max_value=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_assignment_properties(self, na, nb, mi_a, mi_b):
+        p = 16
+        assign = assign_entries((na, nb), [mi_a, mi_b], p)
+        assert assign.shape == (na, nb)
+        assert assign.min() >= 0
+        assert assign.max() < p
+        # Slice diversity never exceeds the machine or the slice width.
+        for ia in range(na):
+            assert len(np.unique(assign[ia, :])) <= min(p, nb)
+
+
+class TestOptimalAssignment:
+    def test_uniform_grid_perfectly_balanced(self):
+        counts = np.ones((2, 2), dtype=np.int64)
+        assign = optimal_assignment(counts, 4)
+        weights = np.bincount(assign.ravel(), minlength=4)
+        assert weights.max() - weights.min() == 0
+
+    def test_skewed_grid(self):
+        counts = np.array([[10, 0], [0, 10]])
+        assign = optimal_assignment(counts, 2)
+        weights = np.bincount(assign.ravel(),
+                              weights=counts.ravel(), minlength=2)
+        assert weights.max() - weights.min() == 0
+
+    def test_heuristic_plus_rebalance_close_to_optimal(self):
+        from repro.core import GridDirectory, rebalance_assignment
+
+        counts = np.full((3, 3), 7, dtype=np.int64)
+        optimal = optimal_assignment(counts, 3)
+        opt_weights = np.bincount(optimal.ravel(),
+                                  weights=counts.ravel(), minlength=3)
+        heur = assign_entries((3, 3), [2.0, 2.0], 3)
+        d = GridDirectory(["a", "b"],
+                          [np.array([10, 20]), np.array([10, 20])],
+                          counts, heur)
+        rebalance_assignment(d, 3)
+        heur_weights = d.tuples_per_site(3)
+        spread_opt = opt_weights.max() - opt_weights.min()
+        spread_heur = heur_weights.max() - heur_weights.min()
+        assert spread_heur <= spread_opt + 7  # within one entry's weight
+
+    def test_search_space_limit(self):
+        with pytest.raises(ValueError):
+            optimal_assignment(np.ones((4, 4)), 8)

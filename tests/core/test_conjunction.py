@@ -1,0 +1,132 @@
+"""Tests for conjunctive (multi-attribute) predicate routing."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BerdStrategy,
+    MagicStrategy,
+    MagicTuning,
+    RangePredicate,
+    RangeStrategy,
+)
+from repro.storage import make_wisconsin
+
+P = 16
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return make_wisconsin(cardinality=40_000, correlation="low", seed=30)
+
+
+@pytest.fixture(scope="module")
+def magic(relation):
+    strategy = MagicStrategy(
+        ["unique1", "unique2"],
+        tuning=MagicTuning(shape={"unique1": 30, "unique2": 30},
+                           mi={"unique1": 4.0, "unique2": 4.0}))
+    return strategy.partition(relation, P)
+
+
+class TestMagicConjunction:
+    def test_two_dimensional_band_intersection(self, magic):
+        pred_a = RangePredicate("unique1", 10_000, 10_999)
+        pred_b = RangePredicate("unique2", 20_000, 20_999)
+        single_a = magic.route(pred_a).target_sites
+        single_b = magic.route(pred_b).target_sites
+        both = magic.route_conjunction([pred_a, pred_b]).target_sites
+        assert set(both) <= set(single_a)
+        assert len(both) <= min(len(single_a), len(single_b))
+
+    def test_conjunction_usually_one_entry(self, magic):
+        """A narrow predicate per dimension lands in ~1 grid entry."""
+        import random
+        rng = random.Random(0)
+        widths = []
+        for _ in range(50):
+            a = rng.randrange(39_000)
+            b = rng.randrange(39_000)
+            decision = magic.route_conjunction([
+                RangePredicate("unique1", a, a + 99),
+                RangePredicate("unique2", b, b + 99)])
+            widths.append(len(decision.target_sites))
+        assert float(np.mean(widths)) <= 2.5
+
+    def test_soundness(self, relation, magic):
+        preds = [RangePredicate("unique1", 5_000, 14_999),
+                 RangePredicate("unique2", 0, 19_999)]
+        counts = magic.qualifying_counts_all(preds)
+        routed = set(magic.route_conjunction(preds).target_sites)
+        for site, count in enumerate(counts):
+            if count > 0:
+                assert site in routed
+
+    def test_same_dimension_predicates_intersect(self, magic):
+        wide = RangePredicate("unique1", 0, 30_000)
+        narrow = RangePredicate("unique1", 10_000, 10_100)
+        both = magic.route_conjunction([wide, narrow]).target_sites
+        only_narrow = magic.route(narrow).target_sites
+        assert set(both) <= set(only_narrow)
+
+    def test_unpartitioned_conjunction_broadcasts(self, magic):
+        decision = magic.route_conjunction(
+            [RangePredicate("ten", 1, 1), RangePredicate("two", 0, 0)])
+        assert decision.target_sites == tuple(range(P))
+        assert not decision.used_partitioning
+
+    def test_mixed_partitioned_and_not(self, magic):
+        decision = magic.route_conjunction(
+            [RangePredicate("ten", 1, 1),
+             RangePredicate("unique1", 100, 199)])
+        assert decision.used_partitioning
+        assert len(decision.target_sites) < P
+
+    def test_empty_conjunction_rejected(self, magic):
+        with pytest.raises(ValueError):
+            magic.route_conjunction([])
+
+
+class TestGenericConjunction:
+    def test_range_uses_best_single_predicate(self, relation):
+        placement = RangeStrategy("unique1").partition(relation, P)
+        decision = placement.route_conjunction(
+            [RangePredicate("unique1", 0, 99),
+             RangePredicate("unique2", 0, 99)])
+        # Only the unique1 predicate is routable.
+        assert decision.target_sites == \
+            placement.route(RangePredicate("unique1", 0, 99)).target_sites
+
+    def test_range_broadcast_when_nothing_routable(self, relation):
+        placement = RangeStrategy("unique1").partition(relation, P)
+        decision = placement.route_conjunction(
+            [RangePredicate("ten", 0, 1)])
+        assert not decision.used_partitioning
+
+    def test_berd_picks_cheaper_side(self, relation):
+        placement = BerdStrategy("unique1", ["unique2"]).partition(
+            relation, P)
+        decision = placement.route_conjunction(
+            [RangePredicate("unique1", 0, 50),     # 1 site, no probe
+             RangePredicate("unique2", 0, 5_000)])  # many sites + probe
+        assert len(decision.target_sites) == 1
+        assert not decision.is_two_phase
+
+    def test_qualifying_counts_all_matches_brute_force(self, relation):
+        placement = RangeStrategy("unique1").partition(relation, P)
+        preds = [RangePredicate("unique1", 1_000, 9_999),
+                 RangePredicate("unique2", 0, 19_999)]
+        counts = placement.qualifying_counts_all(preds)
+        u1 = relation.column("unique1")
+        u2 = relation.column("unique2")
+        expected_total = int(((u1 >= 1_000) & (u1 <= 9_999)
+                              & (u2 <= 19_999)).sum())
+        assert counts.sum() == expected_total
+
+    def test_magic_beats_generic_on_conjunctions(self, relation, magic):
+        """The headline: only the grid directory exploits both bands."""
+        range_placement = RangeStrategy("unique1").partition(relation, P)
+        preds = [RangePredicate("unique1", 7_000, 7_999),
+                 RangePredicate("unique2", 12_000, 12_999)]
+        assert len(magic.route_conjunction(preds).target_sites) <= \
+            len(range_placement.route_conjunction(preds).target_sites)

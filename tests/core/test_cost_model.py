@@ -1,0 +1,206 @@
+"""Unit tests for MAGIC's cost model (equations 1-4)."""
+
+import math
+
+import pytest
+
+from repro.core import MagicCostModel, QueryProfile
+
+
+def profile(name="q", attribute="a", tuples=10, cpu=0.01, disk=0.05,
+            net=0.005, freq=0.5):
+    return QueryProfile(name=name, attribute=attribute, tuples=tuples,
+                        cpu_seconds=cpu, disk_seconds=disk,
+                        net_seconds=net, frequency=freq)
+
+
+class TestQueryProfile:
+    def test_total_seconds(self):
+        p = profile(cpu=1, disk=2, net=3)
+        assert p.total_seconds == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            profile(tuples=0)
+        with pytest.raises(ValueError):
+            profile(freq=0)
+        with pytest.raises(ValueError):
+            profile(cpu=-1)
+
+
+class TestAverageQuery:
+    def test_weighted_average(self):
+        qa = profile("qa", "a", tuples=1, cpu=0.02, disk=0.03, net=0.01,
+                     freq=0.5)
+        qb = profile("qb", "b", tuples=10, cpu=0.04, disk=0.05, net=0.03,
+                     freq=0.5)
+        model = MagicCostModel([qa, qb], cost_of_participation=0.005,
+                               directory_search_cost=1e-6,
+                               relation_cardinality=100_000)
+        ave = model.average_query()
+        assert ave.tuples == pytest.approx(5.5)
+        assert ave.cpu_seconds == pytest.approx(0.03)
+        assert ave.disk_seconds == pytest.approx(0.04)
+        assert ave.net_seconds == pytest.approx(0.02)
+
+    def test_frequencies_normalized(self):
+        # Same profiles with doubled weights give identical QAve.
+        qa = profile("qa", "a", freq=1.0)
+        qb = profile("qb", "b", freq=1.0)
+        qa2 = profile("qa", "a", freq=7.0)
+        qb2 = profile("qb", "b", freq=7.0)
+        m1 = MagicCostModel([qa, qb], 0.005, 1e-6, 1000)
+        m2 = MagicCostModel([qa2, qb2], 0.005, 1e-6, 1000)
+        assert m1.average_query() == m2.average_query()
+
+
+class TestEquationOne:
+    def test_rt_has_interior_minimum(self):
+        model = MagicCostModel([profile()], 0.005, 1e-7, 100_000)
+        m_star = model.ideal_m()
+        rt_star = model.response_time(m_star)
+        assert rt_star <= model.response_time(m_star * 2) + 1e-12
+        assert rt_star <= model.response_time(max(m_star / 2, 1e-6)) + 1e-12
+
+    def test_rt_components(self):
+        # With CS = 0 and CP = 0 limit behaviour: RT(M) ~ resources / M.
+        model = MagicCostModel([profile(cpu=1, disk=0, net=0)],
+                               cost_of_participation=1e-12,
+                               directory_search_cost=0.0,
+                               relation_cardinality=100)
+        assert model.response_time(4) == pytest.approx(0.25, rel=1e-3)
+
+    def test_invalid_m_rejected(self):
+        model = MagicCostModel([profile()], 0.005, 0.0, 100)
+        with pytest.raises(ValueError):
+            model.response_time(0)
+
+
+class TestEquationTwo:
+    def test_closed_form_matches_numeric_minimum(self):
+        model = MagicCostModel([profile(tuples=30, cpu=0.1, disk=0.4,
+                                        net=0.05)],
+                               cost_of_participation=0.005,
+                               directory_search_cost=2e-7,
+                               relation_cardinality=100_000)
+        m_star = model.ideal_m()
+        # Numerically bracket the minimum.
+        samples = [m_star * f for f in (0.9, 0.95, 1.0, 1.05, 1.1)]
+        rts = [model.response_time(m) for m in samples]
+        assert min(rts) == rts[2]
+
+    def test_moderate_queries_want_about_nine_processors(self):
+        """§7.2: with Gamma-like constants the moderate query's M_i ~ 9."""
+        moderate = profile("qa_mod", "a", tuples=30, cpu=0.02, disk=0.38,
+                           net=0.01, freq=1.0)
+        model = MagicCostModel([moderate], cost_of_participation=0.005,
+                               directory_search_cost=0.0,
+                               relation_cardinality=100_000)
+        assert 7 <= model.ideal_mi("a") <= 11
+
+    def test_low_queries_want_one_or_two_processors(self):
+        low = profile("qa_low", "a", tuples=1, cpu=0.002, disk=0.028,
+                      net=0.002, freq=1.0)
+        model = MagicCostModel([low], cost_of_participation=0.005,
+                               directory_search_cost=0.0,
+                               relation_cardinality=100_000)
+        assert 1 <= model.ideal_mi("a") <= 3
+
+
+class TestFragmentCardinality:
+    def test_m_above_one(self):
+        model = MagicCostModel([profile(tuples=100, cpu=1, disk=1, net=0)],
+                               cost_of_participation=0.02,
+                               directory_search_cost=0.0,
+                               relation_cardinality=10_000)
+        m = model.ideal_m()
+        assert m > 1
+        assert model.fragment_cardinality() == max(1, round(100 / (m - 1)))
+
+    def test_m_below_one_uses_footnote_four(self):
+        model = MagicCostModel([profile(tuples=10, cpu=1e-4, disk=1e-4,
+                                        net=0)],
+                               cost_of_participation=0.5,
+                               directory_search_cost=1e-3,
+                               relation_cardinality=100_000)
+        m = model.ideal_m()
+        assert m < 1
+        assert model.fragment_cardinality() == max(1, round(10 / m))
+
+    def test_fragment_count(self):
+        model = MagicCostModel([profile(tuples=100, cpu=1, disk=1, net=0)],
+                               0.02, 0.0, 10_000)
+        fc = model.fragment_cardinality()
+        assert model.fragment_count() == math.ceil(10_000 / fc)
+
+
+class TestEquationsThreeFour:
+    def test_stock_example_fraction_splits(self):
+        """§3.3's worked example: M_ticker = 3, M_price = 1, 90%/10%
+        frequencies give split fractions 22.5% and 7.5%."""
+        # Engineer profiles that yield exactly M_i = 3 and 1 under CP.
+        cp = 0.01
+        ticker = profile("ta", "ticker", tuples=1, cpu=9 * cp, disk=0, net=0,
+                         freq=0.9)
+        price = profile("tb", "price", tuples=1, cpu=1 * cp, disk=0, net=0,
+                        freq=0.1)
+        model = MagicCostModel([ticker, price], cp, 0.0, 100_000)
+        assert model.ideal_mi("ticker") == pytest.approx(3.0)
+        assert model.ideal_mi("price") == pytest.approx(1.0)
+        splits = model.fraction_splits()
+        assert splits["ticker"] == pytest.approx(0.225)
+        assert splits["price"] == pytest.approx(0.075)
+
+    def test_relative_frequency_within_attribute(self):
+        # Two queries on the same attribute: eq 2 of §3.2 weighs them by
+        # relative frequency within the attribute's subset.
+        cp = 0.01
+        q1 = profile("q1", "a", tuples=1, cpu=16 * cp, disk=0, net=0, freq=3)
+        q2 = profile("q2", "a", tuples=1, cpu=4 * cp, disk=0, net=0, freq=1)
+        model = MagicCostModel([q1, q2], cp, 0.0, 100)
+        # weighted = 0.75*16cp + 0.25*4cp = 13cp -> Mi = sqrt(13).
+        assert model.ideal_mi("a") == pytest.approx(math.sqrt(13.0))
+
+    def test_unknown_attribute_rejected(self):
+        model = MagicCostModel([profile(attribute="a")], 0.01, 0.0, 100)
+        with pytest.raises(KeyError):
+            model.ideal_mi("zzz")
+
+    def test_directory_shape_respects_split_ratio(self):
+        cp = 0.005
+        qa = profile("qa", "a", tuples=1, cpu=81 * cp, disk=0, net=0,
+                     freq=0.5)
+        qb = profile("qb", "b", tuples=300, cpu=cp, disk=0, net=0, freq=0.5)
+        model = MagicCostModel([qa, qb], cp, 0.0, 100_000)
+        shape = model.directory_shape()
+        splits = model.observed_split_ratios()
+        ratio_shape = shape["a"] / shape["b"]
+        ratio_splits = splits["a"] / splits["b"]
+        assert ratio_shape == pytest.approx(ratio_splits, rel=0.35)
+
+    def test_observed_split_ratios_match_paper_usage(self):
+        """§7.2: (M_A, M_B) = (1, 9) splits B nine times more often."""
+        cp = 0.01
+        qa = profile("qa", "a", tuples=1, cpu=1 * cp, disk=0, net=0,
+                     freq=0.5)
+        qb = profile("qb", "b", tuples=300, cpu=81 * cp, disk=0, net=0,
+                     freq=0.5)
+        model = MagicCostModel([qa, qb], cp, 0.0, 100_000)
+        ratios = model.observed_split_ratios()
+        assert ratios["b"] / ratios["a"] == pytest.approx(9.0)
+
+    def test_attributes_order(self):
+        qa = profile("qa", "a")
+        qb = profile("qb", "b")
+        model = MagicCostModel([qa, qb], 0.01, 0.0, 100)
+        assert model.attributes() == ("a", "b")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MagicCostModel([], 0.01, 0.0, 100)
+        with pytest.raises(ValueError):
+            MagicCostModel([profile()], 0.0, 0.0, 100)
+        with pytest.raises(ValueError):
+            MagicCostModel([profile()], 0.01, -1.0, 100)
+        with pytest.raises(ValueError):
+            MagicCostModel([profile()], 0.01, 0.0, 0)

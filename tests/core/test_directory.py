@@ -1,0 +1,123 @@
+"""Unit tests for the grid directory."""
+
+import numpy as np
+import pytest
+
+from repro.core import GridDirectory, RangePredicate
+
+
+def small_directory(with_assignment=True):
+    """3x4 directory over attributes a (rows) and b (columns).
+
+    a-boundaries [10, 20]: slices (-inf,10], (10,20], (20,inf)
+    b-boundaries [5, 10, 15].
+    """
+    counts = np.array([
+        [5, 0, 3, 2],
+        [1, 4, 0, 0],
+        [0, 0, 7, 8],
+    ])
+    assignment = np.array([
+        [0, 1, 2, 3],
+        [1, 2, 3, 0],
+        [2, 3, 0, 1],
+    ])
+    return GridDirectory(
+        ["a", "b"],
+        [np.array([10, 20]), np.array([5, 10, 15])],
+        counts,
+        assignment if with_assignment else None)
+
+
+class TestConstruction:
+    def test_shape_and_totals(self):
+        d = small_directory()
+        assert d.shape == (3, 4)
+        assert d.num_entries == 12
+        assert d.total_tuples == 30
+        assert d.ndim == 2
+
+    def test_dimension_of(self):
+        d = small_directory()
+        assert d.dimension_of("a") == 0
+        assert d.dimension_of("b") == 1
+        with pytest.raises(KeyError):
+            d.dimension_of("c")
+
+    def test_boundary_slice_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GridDirectory(["a"], [np.array([1, 2])], np.zeros(2))
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            GridDirectory(["a"], [np.array([5, 1, 9])], np.zeros(4))
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            GridDirectory(["a", "a"],
+                          [np.array([1]), np.array([1])],
+                          np.zeros((2, 2)))
+
+    def test_assignment_shape_checked(self):
+        d = small_directory(with_assignment=False)
+        with pytest.raises(ValueError):
+            d.set_assignment(np.zeros((2, 2)))
+
+
+class TestPredicateResolution:
+    def test_slice_band_on_rows(self):
+        d = small_directory()
+        assert d.slice_band("a", 0, 9) == (0, 0)
+        assert d.slice_band("a", 15, 15) == (1, 1)
+        assert d.slice_band("a", 5, 25) == (0, 2)
+        # boundary value belongs to the left slice
+        assert d.slice_band("a", 10, 10) == (0, 0)
+
+    def test_entries_covered(self):
+        d = small_directory()
+        assert d.entries_covered(RangePredicate("a", 15, 15)) == 4
+        assert d.entries_covered(RangePredicate("b", 0, 100)) == 12
+
+    def test_sites_for_prunes_empty_entries(self):
+        d = small_directory()
+        # Row a=1 has counts [1, 4, 0, 0] on sites [1, 2, 3, 0]:
+        # pruning empties leaves sites {1, 2}.
+        sites = d.sites_for(RangePredicate("a", 15, 15))
+        assert sites == (1, 2)
+
+    def test_sites_for_without_pruning(self):
+        d = small_directory()
+        sites = d.sites_for(RangePredicate("a", 15, 15), prune_empty=False)
+        assert sites == (0, 1, 2, 3)
+
+    def test_sites_for_column_band(self):
+        d = small_directory()
+        # b in (10, 15] -> column 2: counts [3, 0, 7], sites [2, 3, 0].
+        sites = d.sites_for(RangePredicate("b", 11, 15))
+        assert sites == (0, 2)
+
+    def test_sites_requires_assignment(self):
+        d = small_directory(with_assignment=False)
+        with pytest.raises(RuntimeError):
+            d.sites_for(RangePredicate("a", 0, 1))
+
+
+class TestStatistics:
+    def test_entries_per_site(self):
+        d = small_directory()
+        assert d.entries_per_site(4).tolist() == [3, 3, 3, 3]
+
+    def test_tuples_per_site(self):
+        d = small_directory()
+        weights = d.tuples_per_site(4)
+        assert weights.sum() == 30
+        # site 0: entries (0,0)=5, (1,3)=0, (2,2)=7 -> 12
+        assert weights[0] == 12
+
+    def test_distinct_sites_per_slice(self):
+        d = small_directory()
+        assert d.distinct_sites_per_slice("a") == [4, 4, 4]
+        assert d.distinct_sites_per_slice("b") == [3, 3, 3, 3]
+
+    def test_describe_mentions_shape(self):
+        assert "3x4" in small_directory().describe()

@@ -1,0 +1,85 @@
+"""Tests for the equal-width directory baseline and its MAGIC ablation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MagicStrategy,
+    MagicTuning,
+    build_equal_width,
+    build_from_shape,
+)
+from repro.storage import make_skewed_wisconsin, make_wisconsin
+
+
+class TestEqualWidthBuilder:
+    def test_uniform_data_equal_width_equals_equal_depth(self):
+        rel = make_wisconsin(10_000, correlation="low", seed=90)
+        width = build_equal_width(rel, ["unique1"], (10,))
+        depth = build_from_shape(rel, ["unique1"], (10,))
+        # On uniform permutations, the two splittings nearly coincide.
+        assert width.counts.max() <= 1.2 * depth.counts.max()
+
+    def test_skewed_data_overloads_equal_width(self):
+        rel = make_skewed_wisconsin(20_000, skew=3.0, seed=91)
+        width = build_equal_width(rel, ["unique1", "unique2"], (15, 15))
+        depth = build_from_shape(rel, ["unique1", "unique2"], (15, 15))
+        assert width.total_tuples == depth.total_tuples == 20_000
+        # The grid file's defining advantage.
+        assert width.counts.max() > 5 * depth.counts.max()
+
+    def test_shape_and_coverage(self):
+        rel = make_skewed_wisconsin(5_000, skew=2.0, seed=92)
+        d = build_equal_width(rel, ["unique1", "unique2"], (6, 7))
+        assert d.shape == (6, 7)
+        assert d.total_tuples == 5_000
+
+    def test_single_slice(self):
+        rel = make_wisconsin(1_000, seed=93)
+        d = build_equal_width(rel, ["unique1"], (1,))
+        assert d.counts[0] == 1_000
+
+    def test_validation(self):
+        rel = make_wisconsin(1_000, seed=94)
+        with pytest.raises(ValueError):
+            build_equal_width(rel, ["unique1"], (2, 2))
+        with pytest.raises(ValueError):
+            build_equal_width(rel, ["unique1"], (0,))
+
+
+class TestMagicEqualWidthAblation:
+    def test_equal_width_placement_skews_under_data_skew(self):
+        rel = make_skewed_wisconsin(20_000, skew=3.0, seed=95)
+
+        def tuning(equal_width):
+            return MagicTuning(shape={"unique1": 16, "unique2": 16},
+                               mi={"unique1": 2.0, "unique2": 4.0},
+                               equal_width=equal_width,
+                               rebalance_iterations=0)
+
+        depth = MagicStrategy(["unique1", "unique2"],
+                              tuning=tuning(False)).partition(rel, 8)
+        width = MagicStrategy(["unique1", "unique2"],
+                              tuning=tuning(True)).partition(rel, 8)
+        spread_depth = int(depth.cardinalities().max()
+                           - depth.cardinalities().min())
+        spread_width = int(width.cardinalities().max()
+                           - width.cardinalities().min())
+        assert spread_width > 2 * spread_depth
+
+    def test_rebalancer_partially_repairs_equal_width(self):
+        rel = make_skewed_wisconsin(20_000, skew=3.0, seed=95)
+        raw = MagicStrategy(
+            ["unique1", "unique2"],
+            tuning=MagicTuning(shape={"unique1": 16, "unique2": 16},
+                               mi={"unique1": 2.0, "unique2": 4.0},
+                               equal_width=True,
+                               rebalance_iterations=0,
+                               entry_exchange_slack=None)).partition(rel, 8)
+        fixed = MagicStrategy(
+            ["unique1", "unique2"],
+            tuning=MagicTuning(shape={"unique1": 16, "unique2": 16},
+                               mi={"unique1": 2.0, "unique2": 4.0},
+                               equal_width=True,
+                               rebalance_iterations=300)).partition(rel, 8)
+        assert fixed.cardinalities().max() < raw.cardinalities().max()

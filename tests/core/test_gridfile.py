@@ -1,0 +1,107 @@
+"""Unit tests for grid directory construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_from_shape, build_gridfile
+from repro.storage import make_wisconsin
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return make_wisconsin(cardinality=5_000, correlation="low", seed=3)
+
+
+class TestBuildFromShape:
+    def test_shape_respected(self, relation):
+        d = build_from_shape(relation, ["unique1", "unique2"], (8, 5))
+        assert d.shape == (8, 5)
+
+    def test_counts_cover_relation(self, relation):
+        d = build_from_shape(relation, ["unique1", "unique2"], (8, 5))
+        assert d.total_tuples == relation.cardinality
+
+    def test_equal_depth_slices(self, relation):
+        d = build_from_shape(relation, ["unique1"], (10,))
+        counts = d.counts
+        assert counts.max() - counts.min() <= 2
+
+    def test_single_slice(self, relation):
+        d = build_from_shape(relation, ["unique1"], (1,))
+        assert d.shape == (1,)
+        assert d.counts[0] == relation.cardinality
+
+    def test_validation(self, relation):
+        with pytest.raises(ValueError):
+            build_from_shape(relation, ["unique1"], (2, 2))
+        with pytest.raises(ValueError):
+            build_from_shape(relation, ["unique1"], (0,))
+
+
+class TestBuildGridfile:
+    def test_capacity_respected_for_uniform_data(self, relation):
+        d = build_gridfile(relation, ["unique1", "unique2"],
+                           fragment_capacity=200)
+        # Equal-capacity split of uniform data: no entry wildly overflows.
+        assert d.counts.max() <= 2 * 200
+        assert d.total_tuples == relation.cardinality
+
+    def test_split_weights_shape_bias(self, relation):
+        d = build_gridfile(relation, ["unique1", "unique2"],
+                           fragment_capacity=150,
+                           split_weights={"unique1": 9.0, "unique2": 1.0})
+        n1, n2 = d.shape
+        assert n1 > n2 * 3  # unique1 split much more often
+
+    def test_correlated_data_produces_sparse_grid(self):
+        rel = make_wisconsin(cardinality=5_000, correlation="identical",
+                             seed=4)
+        d = build_gridfile(rel, ["unique1", "unique2"],
+                           fragment_capacity=200)
+        # Identical attributes put all tuples on the diagonal: most
+        # entries empty.
+        empty_fraction = (d.counts == 0).mean()
+        assert empty_fraction > 0.5
+        assert d.total_tuples == rel.cardinality
+
+    def test_max_entries_bound(self, relation):
+        d = build_gridfile(relation, ["unique1", "unique2"],
+                           fragment_capacity=1, max_entries=64)
+        assert d.num_entries <= 64
+
+    def test_validation(self, relation):
+        with pytest.raises(ValueError):
+            build_gridfile(relation, ["unique1"], fragment_capacity=0)
+        with pytest.raises(KeyError):
+            build_gridfile(relation, ["unique1"], 10,
+                           split_weights={"other": 1.0})
+        with pytest.raises(ValueError):
+            build_gridfile(relation, ["unique1"], 10,
+                           split_weights={"unique1": 0.0})
+
+    def test_one_dimensional_build(self, relation):
+        d = build_gridfile(relation, ["unique1"], fragment_capacity=500)
+        assert d.ndim == 1
+        assert d.counts.max() <= 1000
+        assert d.total_tuples == relation.cardinality
+
+
+class TestBuilderProperties:
+    @given(shape=st.tuples(st.integers(min_value=1, max_value=12),
+                           st.integers(min_value=1, max_value=12)))
+    @settings(max_examples=20, deadline=None)
+    def test_from_shape_always_partitions(self, shape):
+        rel = make_wisconsin(cardinality=2_000, correlation="low", seed=5)
+        d = build_from_shape(rel, ["unique1", "unique2"], shape)
+        assert d.total_tuples == rel.cardinality
+        assert d.shape == shape
+
+    @given(capacity=st.integers(min_value=50, max_value=2000))
+    @settings(max_examples=10, deadline=None)
+    def test_gridfile_always_partitions(self, capacity):
+        rel = make_wisconsin(cardinality=2_000, correlation="low", seed=6)
+        d = build_gridfile(rel, ["unique1", "unique2"],
+                           fragment_capacity=capacity)
+        assert d.total_tuples == rel.cardinality

@@ -1,0 +1,162 @@
+"""Unit and integration tests for the MAGIC strategy end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MagicCostModel,
+    MagicStrategy,
+    MagicTuning,
+    QueryProfile,
+    RangePredicate,
+)
+from repro.storage import make_wisconsin
+
+P = 32
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return make_wisconsin(cardinality=100_000, correlation="low", seed=13)
+
+
+@pytest.fixture(scope="module")
+def high_corr_relation():
+    return make_wisconsin(cardinality=100_000, correlation="high", seed=13)
+
+
+def pinned_strategy(shape=(62, 61), mi=(5.0, 5.0)):
+    return MagicStrategy(
+        ["unique1", "unique2"],
+        tuning=MagicTuning(
+            shape={"unique1": shape[0], "unique2": shape[1]},
+            mi={"unique1": mi[0], "unique2": mi[1]}))
+
+
+@pytest.fixture(scope="module")
+def placement(relation):
+    return pinned_strategy().partition(relation, P)
+
+
+class TestConstruction:
+    def test_is_a_partition(self, relation, placement):
+        assert sum(f.cardinality for f in placement.fragments) == \
+            relation.cardinality
+
+    def test_directory_shape(self, placement):
+        assert placement.directory.shape == (62, 61)
+
+    def test_tuple_loads_balanced(self, placement):
+        cards = placement.cardinalities()
+        assert cards.max() <= 1.3 * cards.mean()
+        assert cards.min() >= 0.7 * cards.mean()
+
+    def test_fragments_match_directory_weights(self, placement):
+        weights = placement.directory.tuples_per_site(P)
+        assert np.array_equal(weights, placement.cardinalities())
+
+    def test_small_directory_one_entry_per_site(self, relation):
+        strategy = pinned_strategy(shape=(4, 4), mi=(2.0, 2.0))
+        small = strategy.partition(relation, P)
+        assert small.directory.num_entries == 16
+        assignment = small.directory.assignment
+        assert len(np.unique(assignment)) == 16
+
+    def test_requires_cost_model_or_full_tuning(self):
+        with pytest.raises(ValueError):
+            MagicStrategy(["a", "b"])
+        with pytest.raises(ValueError):
+            MagicStrategy(["a"], tuning=MagicTuning(shape={"a": 4}))
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            MagicStrategy(["a", "a"],
+                          tuning=MagicTuning(shape={"a": 2}, mi={"a": 1}))
+
+
+class TestRouting:
+    def test_query_on_a_uses_column_sites(self, placement):
+        decision = placement.route(RangePredicate.equals("unique1", 41_017))
+        assert 1 <= len(decision.target_sites) <= 10
+        assert decision.used_partitioning
+
+    def test_query_on_b_uses_row_sites(self, placement):
+        decision = placement.route(RangePredicate("unique2", 500, 509))
+        assert 1 <= len(decision.target_sites) <= 10
+
+    def test_unpartitioned_attribute_broadcasts(self, placement):
+        decision = placement.route(RangePredicate("ten", 3, 3))
+        assert decision.target_sites == tuple(range(P))
+        assert not decision.used_partitioning
+
+    def test_routing_is_sound(self, relation, placement):
+        for pred in [RangePredicate("unique1", 10_000, 10_029),
+                     RangePredicate("unique2", 77_000, 77_299),
+                     RangePredicate.equals("unique1", 5)]:
+            counts = placement.qualifying_counts(pred)
+            routed = set(placement.route(pred).target_sites)
+            for site, count in enumerate(counts):
+                if count > 0:
+                    assert site in routed, (pred, site)
+
+    def test_average_processor_counts_sensible(self, placement):
+        """Low-low tuning on low correlation: both query types should use a
+        handful of processors, far below range partitioning's 16.5."""
+        rng = np.random.default_rng(0)
+        widths_a, widths_b = [], []
+        for _ in range(50):
+            v = int(rng.integers(0, 100_000))
+            widths_a.append(len(placement.route(
+                RangePredicate.equals("unique1", v)).target_sites))
+            lo = int(rng.integers(0, 99_990))
+            widths_b.append(len(placement.route(
+                RangePredicate("unique2", lo, lo + 9)).target_sites))
+        avg = (np.mean(widths_a) + np.mean(widths_b)) / 2
+        assert 3 <= avg <= 10
+
+    def test_high_correlation_localizes_queries(self, high_corr_relation):
+        """§4: correlated attributes + empty-entry pruning localize both
+        query types to very few processors."""
+        placement = pinned_strategy().partition(high_corr_relation, P)
+        rng = np.random.default_rng(1)
+        widths = []
+        for _ in range(50):
+            lo = int(rng.integers(0, 99_990))
+            widths.append(len(placement.route(
+                RangePredicate("unique2", lo, lo + 9)).target_sites))
+        assert np.mean(widths) <= 2.5
+
+
+class TestCostModelDriven:
+    def test_partition_from_cost_model(self, relation):
+        profiles = [
+            QueryProfile("qa", "unique1", tuples=1, cpu_seconds=0.003,
+                         disk_seconds=0.03, net_seconds=0.002, frequency=0.5),
+            QueryProfile("qb", "unique2", tuples=10, cpu_seconds=0.01,
+                         disk_seconds=0.03, net_seconds=0.002, frequency=0.5),
+        ]
+        model = MagicCostModel(profiles, cost_of_participation=0.005,
+                               directory_search_cost=2e-7,
+                               relation_cardinality=relation.cardinality)
+        strategy = MagicStrategy(["unique1", "unique2"], cost_model=model)
+        placement = strategy.partition(relation, P)
+        assert sum(f.cardinality for f in placement.fragments) == \
+            relation.cardinality
+        # Derived directory should have a few thousand entries at most.
+        assert P <= placement.directory.num_entries <= 50_000
+
+    def test_dynamic_gridfile_build(self):
+        rel = make_wisconsin(cardinality=5_000, correlation="low", seed=14)
+        profiles = [
+            QueryProfile("qa", "unique1", tuples=5, cpu_seconds=0.01,
+                         disk_seconds=0.05, net_seconds=0.0, frequency=1.0),
+            QueryProfile("qb", "unique2", tuples=5, cpu_seconds=0.01,
+                         disk_seconds=0.05, net_seconds=0.0, frequency=1.0),
+        ]
+        model = MagicCostModel(profiles, 0.005, 1e-7, rel.cardinality)
+        strategy = MagicStrategy(
+            ["unique1", "unique2"], cost_model=model,
+            tuning=MagicTuning(dynamic_gridfile=True))
+        placement = strategy.partition(rel, 8)
+        assert sum(f.cardinality for f in placement.fragments) == \
+            rel.cardinality

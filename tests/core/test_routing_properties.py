@@ -1,0 +1,136 @@
+"""Property-based tests: invariants every declustering strategy must hold.
+
+These are the correctness contracts of the whole study -- if any
+strategy ever routed a query past a qualifying tuple, the throughput
+comparison would be meaningless.
+
+* **Soundness**: every site holding a qualifying tuple is routed to.
+* **Partition**: fragments are disjoint and cover the relation.
+* **Conservation**: per-site qualifying counts sum to the global count.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BerdStrategy,
+    HashStrategy,
+    MagicStrategy,
+    MagicTuning,
+    RangePredicate,
+    RangeStrategy,
+)
+from repro.storage import make_wisconsin
+
+CARDINALITY = 5_000
+P = 8
+
+
+def all_placements():
+    """One placement per strategy, on low- and high-correlation data."""
+    placements = []
+    for corr in ("low", "high"):
+        relation = make_wisconsin(CARDINALITY, correlation=corr, seed=33)
+        placements.append(RangeStrategy("unique1").partition(relation, P))
+        placements.append(HashStrategy("unique1").partition(relation, P))
+        placements.append(
+            BerdStrategy("unique1", ["unique2"]).partition(relation, P))
+        placements.append(MagicStrategy(
+            ["unique1", "unique2"],
+            tuning=MagicTuning(shape={"unique1": 12, "unique2": 12},
+                               mi={"unique1": 2.0, "unique2": 4.0}),
+        ).partition(relation, P))
+    return placements
+
+
+PLACEMENTS = all_placements()
+
+
+predicates = st.tuples(
+    st.sampled_from(["unique1", "unique2"]),
+    st.integers(min_value=0, max_value=CARDINALITY - 1),
+    st.integers(min_value=0, max_value=500),
+).map(lambda t: RangePredicate(t[0], t[1],
+                               min(t[1] + t[2], CARDINALITY - 1)))
+
+
+class TestPartitionInvariants:
+    @pytest.mark.parametrize("placement", PLACEMENTS,
+                             ids=lambda p: type(p).__name__)
+    def test_fragments_disjoint_and_complete(self, placement):
+        seen = np.concatenate(
+            [placement.fragment(s).rows for s in range(P)])
+        assert len(seen) == CARDINALITY
+        assert len(np.unique(seen)) == CARDINALITY
+
+
+class TestRoutingSoundness:
+    @given(predicate=predicates)
+    @settings(max_examples=60, deadline=None)
+    def test_every_qualifying_site_routed(self, predicate):
+        for placement in PLACEMENTS:
+            counts = placement.qualifying_counts(predicate)
+            routed = set(placement.route(predicate).target_sites)
+            for site in np.nonzero(counts)[0]:
+                assert int(site) in routed, (
+                    f"{type(placement).__name__} missed site {site} "
+                    f"for {predicate}")
+
+    @given(predicate=predicates)
+    @settings(max_examples=60, deadline=None)
+    def test_counts_conserved(self, predicate):
+        relation_column_cache = {}
+        for placement in PLACEMENTS:
+            counts = placement.qualifying_counts(predicate)
+            key = (id(placement.relation), predicate.attribute)
+            if key not in relation_column_cache:
+                relation_column_cache[key] = placement.relation.column(
+                    predicate.attribute)
+            column = relation_column_cache[key]
+            expected = int(((column >= predicate.low)
+                            & (column <= predicate.high)).sum())
+            assert counts.sum() == expected
+
+    @given(predicate=predicates)
+    @settings(max_examples=40, deadline=None)
+    def test_sites_within_machine(self, predicate):
+        for placement in PLACEMENTS:
+            decision = placement.route(predicate)
+            for site in decision.target_sites + decision.probe_sites:
+                assert 0 <= site < P
+
+    @given(predicate=predicates)
+    @settings(max_examples=40, deadline=None)
+    def test_berd_probe_matches_consistent(self, predicate):
+        """BERD's probe match counts must sum to the global count when
+        the predicate hits the secondary attribute."""
+        for placement in PLACEMENTS:
+            if not hasattr(placement, "auxiliaries"):
+                continue
+            if predicate.attribute != "unique2":
+                continue
+            decision = placement.route(predicate)
+            column = placement.relation.column("unique2")
+            expected = int(((column >= predicate.low)
+                            & (column <= predicate.high)).sum())
+            assert sum(decision.probe_matches) == expected
+
+
+class TestConjunctionSoundness:
+    @given(
+        a_low=st.integers(min_value=0, max_value=CARDINALITY - 600),
+        b_low=st.integers(min_value=0, max_value=CARDINALITY - 600),
+        width=st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_conjunction_routes_all_qualifying_sites(self, a_low, b_low,
+                                                     width):
+        preds = [RangePredicate("unique1", a_low, a_low + width),
+                 RangePredicate("unique2", b_low, b_low + width)]
+        for placement in PLACEMENTS:
+            counts = placement.qualifying_counts_all(preds)
+            routed = set(placement.route_conjunction(preds).target_sites)
+            for site in np.nonzero(counts)[0]:
+                assert int(site) in routed, type(placement).__name__

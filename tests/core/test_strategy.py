@@ -1,0 +1,87 @@
+"""Unit tests for predicates, routing decisions and shared helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RangePredicate,
+    RoutingDecision,
+    equal_depth_boundaries,
+    sites_for_interval,
+)
+
+
+class TestRangePredicate:
+    def test_range(self):
+        p = RangePredicate("a", 10, 20)
+        assert not p.is_equality
+        assert str(p) == "10 <= a <= 20"
+
+    def test_equality(self):
+        p = RangePredicate.equals("a", 5)
+        assert p.is_equality
+        assert (p.low, p.high) == (5, 5)
+        assert str(p) == "a = 5"
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            RangePredicate("a", 10, 9)
+
+
+class TestRoutingDecision:
+    def test_single_phase(self):
+        d = RoutingDecision(target_sites=(1, 2, 3))
+        assert not d.is_two_phase
+        assert d.site_count == 3
+
+    def test_two_phase_site_count_dedupes(self):
+        d = RoutingDecision(target_sites=(1, 2), probe_sites=(2,),
+                            probe_matches=(5,))
+        assert d.is_two_phase
+        assert d.site_count == 2
+
+    def test_probe_matches_must_parallel_probe_sites(self):
+        with pytest.raises(ValueError):
+            RoutingDecision(target_sites=(0,), probe_sites=(1, 2),
+                            probe_matches=(1,))
+
+
+class TestEqualDepthBoundaries:
+    def test_uniform_values(self):
+        b = equal_depth_boundaries(np.arange(100), 4)
+        assert len(b) == 3
+        # Splits near 25/50/75.
+        assert all(abs(x - y) <= 1 for x, y in zip(b, [25, 50, 75]))
+
+    def test_single_part_no_boundaries(self):
+        assert len(equal_depth_boundaries(np.arange(10), 1)) == 0
+
+    def test_balanced_partition_sizes(self):
+        values = np.random.default_rng(0).permutation(1000)
+        b = equal_depth_boundaries(values, 8)
+        sites = np.searchsorted(b, values, side="left")
+        counts = np.bincount(sites, minlength=8)
+        assert counts.max() - counts.min() <= 2
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            equal_depth_boundaries(np.arange(10), 0)
+
+
+class TestSitesForInterval:
+    def test_point_in_middle(self):
+        b = np.array([10, 20, 30])
+        assert sites_for_interval(b, 15, 15) == (1,)
+
+    def test_spanning_range(self):
+        b = np.array([10, 20, 30])
+        assert sites_for_interval(b, 5, 25) == (0, 1, 2)
+
+    def test_entire_domain(self):
+        b = np.array([10, 20, 30])
+        assert sites_for_interval(b, -100, 100) == (0, 1, 2, 3)
+
+    def test_boundary_value_goes_left(self):
+        b = np.array([10, 20, 30])
+        assert sites_for_interval(b, 10, 10) == (0,)
+        assert sites_for_interval(b, 11, 11) == (1,)

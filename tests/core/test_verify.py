@@ -1,0 +1,94 @@
+"""Tests for the placement verification diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BerdStrategy,
+    MagicStrategy,
+    MagicTuning,
+    RangeStrategy,
+    verify_placement,
+)
+from repro.core.strategy import Placement, RangePredicate, RoutingDecision
+from repro.storage import make_wisconsin
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return make_wisconsin(10_000, correlation="low", seed=100)
+
+
+class TestHealthyPlacements:
+    def test_range_placement_ok(self, relation):
+        placement = RangeStrategy("unique1").partition(relation, 8)
+        report = verify_placement(placement, samples=20)
+        assert report.ok
+        assert report.load_factor == pytest.approx(1.0, abs=0.05)
+        assert report.empty_site_fraction == 0.0
+        # Routing on the partitioning attribute localizes, the other
+        # broadcasts.
+        assert report.avg_processors["unique1"] < 3
+        assert report.avg_processors["unique2"] == 8.0
+
+    def test_berd_placement_ok(self, relation):
+        placement = BerdStrategy("unique1", ["unique2"]).partition(
+            relation, 8)
+        report = verify_placement(placement, samples=20)
+        assert report.ok
+        assert report.avg_processors["unique2"] < 8.0
+
+    def test_magic_reports_slice_diversity(self, relation):
+        placement = MagicStrategy(
+            ["unique1", "unique2"],
+            tuning=MagicTuning(shape={"unique1": 16, "unique2": 16},
+                               mi={"unique1": 2.0, "unique2": 4.0}),
+        ).partition(relation, 8)
+        report = verify_placement(placement, samples=20)
+        assert report.ok
+        assert report.slice_diversity["unique1"] == pytest.approx(2.0,
+                                                                  abs=0.6)
+        assert report.slice_diversity["unique2"] == pytest.approx(4.0,
+                                                                  abs=0.6)
+        assert "OK" in report.summary()
+
+    def test_sample_count_recorded(self, relation):
+        placement = RangeStrategy("unique1").partition(relation, 4)
+        report = verify_placement(placement, samples=15)
+        assert report.sampled_predicates == 2 * 15  # two attributes
+
+
+class _BrokenPlacement(Placement):
+    """A placement that deliberately misroutes (for negative testing)."""
+
+    def route(self, predicate):
+        return RoutingDecision(target_sites=(0,))  # always site 0 only
+
+
+class TestBrokenPlacements:
+    def test_misrouting_detected(self, relation):
+        fragments = RangeStrategy("unique1").partition(relation, 4).fragments
+        broken = _BrokenPlacement(relation, fragments)
+        report = verify_placement(broken, attributes=["unique1"],
+                                  samples=20)
+        assert not report.ok
+        assert any("missed sites" in p for p in report.problems)
+        assert "BROKEN" in report.summary()
+
+    def test_overlapping_fragments_detected(self, relation):
+        good = RangeStrategy("unique1").partition(relation, 4)
+        rows = [f.rows for f in good.fragments]
+        # Duplicate some tuples into two fragments -- bypass the
+        # constructor's own check by mutating afterwards.
+        placement = RangeStrategy("unique1").partition(relation, 4)
+        placement._fragments[0] = relation.fragment(
+            np.concatenate([rows[0], rows[1][:5]]), site=0)
+        report = verify_placement(placement, attributes=["unique1"],
+                                  samples=5)
+        assert not report.ok
+        assert any("fragments" in p for p in report.problems)
+
+    def test_invalid_samples(self, relation):
+        placement = RangeStrategy("unique1").partition(relation, 4)
+        with pytest.raises(ValueError):
+            verify_placement(placement, samples=0)

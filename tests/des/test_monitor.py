@@ -1,0 +1,113 @@
+"""Unit tests for the measurement instruments."""
+
+import pytest
+
+from repro.des import (
+    Environment,
+    Resource,
+    TallyMonitor,
+    TimeWeightedMonitor,
+    UtilizationMonitor,
+)
+
+
+class TestTallyMonitor:
+    def test_empty_stats_are_zero(self):
+        m = TallyMonitor("empty")
+        assert m.count == 0
+        assert m.mean == 0.0
+        assert m.stdev == 0.0
+        assert m.minimum == 0.0
+        assert m.maximum == 0.0
+
+    def test_basic_stats(self):
+        m = TallyMonitor()
+        for v in [2.0, 4.0, 6.0]:
+            m.record(v)
+        assert m.count == 3
+        assert m.mean == pytest.approx(4.0)
+        assert m.total == pytest.approx(12.0)
+        assert m.minimum == 2.0
+        assert m.maximum == 6.0
+        assert m.stdev == pytest.approx(1.632993, rel=1e-5)
+
+    def test_reset_clears(self):
+        m = TallyMonitor("rt")
+        m.record(10)
+        m.reset()
+        assert m.count == 0
+        assert m.name == "rt"
+
+    def test_percentiles(self):
+        m = TallyMonitor().keep_samples()
+        for v in range(1, 101):
+            m.record(float(v))
+        assert m.percentile(50) == pytest.approx(50.0, abs=1.0)
+        assert m.percentile(0) == 1.0
+        assert m.percentile(100) == 100.0
+
+    def test_percentile_without_samples_raises(self):
+        m = TallyMonitor()
+        m.record(1.0)
+        with pytest.raises(RuntimeError):
+            m.percentile(50)
+
+
+class TestTimeWeightedMonitor:
+    def test_constant_level(self):
+        m = TimeWeightedMonitor(initial=3.0, now=0.0)
+        assert m.time_average(10.0) == pytest.approx(3.0)
+
+    def test_step_function(self):
+        m = TimeWeightedMonitor(initial=0.0, now=0.0)
+        m.observe(5.0, 2.0)   # level 0 for [0,5), 2 after
+        assert m.time_average(10.0) == pytest.approx(1.0)
+
+    def test_reset_restarts_window(self):
+        m = TimeWeightedMonitor(initial=4.0, now=0.0)
+        m.observe(10.0, 0.0)
+        m.reset(10.0)
+        assert m.time_average(20.0) == pytest.approx(0.0)
+
+    def test_maximum_tracked(self):
+        m = TimeWeightedMonitor(initial=1.0, now=0.0)
+        m.observe(1.0, 5.0)
+        m.observe(2.0, 2.0)
+        assert m.maximum == 5.0
+
+    def test_zero_span_returns_current(self):
+        m = TimeWeightedMonitor(initial=7.0, now=0.0)
+        assert m.time_average(0.0) == 7.0
+
+
+class TestUtilizationMonitor:
+    def test_measures_busy_fraction(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        mon = UtilizationMonitor.attach(res, "server")
+
+        def job(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(4)
+
+        env.process(job(env))
+        env.run()
+        env.run(until=10)
+        assert mon.utilization(env.now) == pytest.approx(0.4)
+
+    def test_multi_server_utilization(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        mon = UtilizationMonitor.attach(res)
+
+        def job(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        env.process(job(env))
+        env.process(job(env))
+        env.run()
+        # Both servers busy the whole [0, 10] window.
+        assert mon.utilization(10.0) == pytest.approx(1.0)

@@ -1,0 +1,70 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.experiments import (
+    FIGURES,
+    figure_section,
+    report_from_directory,
+    run_experiment,
+    save_figure_json,
+    scoreboard_row,
+    series_table,
+)
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return run_experiment(FIGURES["8a"], cardinality=10_000, num_sites=8,
+                          measured_queries=50, mpls=(1, 8), seed=5)
+
+
+class TestBuildingBlocks:
+    def test_scoreboard_row_shape(self, small_result):
+        row = scoreboard_row(small_result)
+        assert row.startswith("| Fig 8a |")
+        assert row.count("|") == 5
+
+    def test_series_table(self, small_result):
+        table = series_table(small_result)
+        lines = table.splitlines()
+        assert lines[0].startswith("| MPL |")
+        assert len(lines) == 2 + 2  # header + separator + 2 MPL rows
+
+    def test_series_table_mpl_filter(self, small_result):
+        table = series_table(small_result, mpls=[8])
+        assert "| 8 |" in table
+        assert "| 1 |" not in table
+
+    def test_figure_section_complete(self, small_result):
+        section = figure_section(small_result)
+        assert "### Figure 8a" in section
+        assert "8 processors" in section
+        assert "Outcome" in section
+
+
+class TestDirectoryReport:
+    def test_report_roundtrip(self, small_result, tmp_path):
+        save_figure_json(small_result, str(tmp_path / "figure_8a.json"))
+        report = report_from_directory(str(tmp_path), title="Test report")
+        assert report.startswith("# Test report")
+        assert "Fig 8a" in report
+        assert "### Figure 8a" in report
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            report_from_directory(str(tmp_path))
+
+    def test_bad_file_skipped_with_note(self, small_result, tmp_path):
+        save_figure_json(small_result, str(tmp_path / "figure_8a.json"))
+        (tmp_path / "figure_zz.json").write_text(
+            '{"format_version": 99}')
+        report = report_from_directory(str(tmp_path))
+        assert "Skipped files" in report
+        assert "figure_zz.json" in report
+
+    def test_non_figure_files_ignored(self, small_result, tmp_path):
+        save_figure_json(small_result, str(tmp_path / "figure_8a.json"))
+        (tmp_path / "notes.txt").write_text("irrelevant")
+        report = report_from_directory(str(tmp_path))
+        assert "notes.txt" not in report

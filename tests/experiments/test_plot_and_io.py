@@ -1,0 +1,109 @@
+"""Tests for ASCII plotting and results serialization."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    FIGURES,
+    ascii_plot,
+    figure_from_dict,
+    figure_to_csv,
+    figure_to_dict,
+    load_figure_json,
+    plot_figure,
+    run_experiment,
+    save_figure_json,
+)
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return run_experiment(FIGURES["8a"], cardinality=10_000, num_sites=8,
+                          measured_queries=50, mpls=(1, 8), seed=5)
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        series = {"magic": [(1, 10.0), (8, 50.0)],
+                  "range": [(1, 8.0), (8, 20.0)]}
+        text = ascii_plot(series, width=40, height=10)
+        assert "M" in text
+        assert "r" in text
+        assert "legend" in text
+        assert "MPL" in text
+
+    def test_dimensions(self):
+        series = {"magic": [(1, 10.0), (64, 100.0)]}
+        text = ascii_plot(series, width=30, height=8)
+        body = [line for line in text.splitlines() if "|" in line]
+        assert len(body) == 8
+        assert all(len(line.split("|", 1)[1]) == 30 for line in body)
+
+    def test_overlapping_points_starred(self):
+        series = {"a": [(1, 10.0)], "b": [(1, 10.0)]}
+        text = ascii_plot(series, width=20, height=6,
+                          marks={"a": "a", "b": "b"})
+        assert "*" in text
+
+    def test_y_axis_anchored_at_zero(self):
+        text = ascii_plot({"a": [(1, 50.0), (2, 100.0)]},
+                          width=20, height=6, marks={"a": "a"})
+        assert " 0 |" in text or "0 |" in text
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": []})
+
+    def test_plot_figure_includes_title(self, small_result):
+        text = plot_figure(small_result)
+        assert "Figure 8a" in text
+        assert "legend" in text
+
+
+class TestResultsIo:
+    def test_dict_roundtrip(self, small_result):
+        payload = figure_to_dict(small_result)
+        # Must survive JSON encoding.
+        payload = json.loads(json.dumps(payload))
+        restored = figure_from_dict(payload)
+        assert restored.config.figure == "8a"
+        assert set(restored.series) == set(small_result.series)
+        for name in small_result.series:
+            original = small_result.series[name]
+            loaded = restored.series[name]
+            assert [r.throughput for r in loaded] == \
+                [r.throughput for r in original]
+            assert [r.response_time_by_type for r in loaded] == \
+                [r.response_time_by_type for r in original]
+
+    def test_json_file_roundtrip(self, small_result, tmp_path):
+        path = tmp_path / "fig8a.json"
+        save_figure_json(small_result, str(path))
+        restored = load_figure_json(str(path))
+        assert restored.cardinality == small_result.cardinality
+        assert restored.final_throughputs() == \
+            small_result.final_throughputs()
+
+    def test_version_checked(self, small_result):
+        payload = figure_to_dict(small_result)
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="format"):
+            figure_from_dict(payload)
+
+    def test_unknown_figure_rejected(self, small_result):
+        payload = figure_to_dict(small_result)
+        payload["figure"] = "17z"
+        payload["format_version"] = 1
+        with pytest.raises(ValueError, match="unknown figure"):
+            figure_from_dict(payload)
+
+    def test_csv_rows(self, small_result):
+        text = figure_to_csv(small_result)
+        lines = text.strip().splitlines()
+        # header + 3 strategies x 2 MPLs
+        assert len(lines) == 1 + 3 * 2
+        assert lines[0].startswith("figure,strategy,mpl")
+        assert any(line.startswith("8a,magic,8,") for line in lines)

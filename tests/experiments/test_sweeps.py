@@ -1,0 +1,77 @@
+"""Tests for the parameter-sweep framework."""
+
+import pytest
+
+from repro.experiments import AXES, SweepResult, sweep
+from repro.experiments.sweeps import run_point
+from repro.experiments import FIGURES
+
+
+SMALL = dict(cardinality=10_000, measured_queries=50,
+             multiprogramming_level=8)
+
+
+class TestAxes:
+    def test_builtin_axes_present(self):
+        assert {"processors", "qb_selectivity", "correlation",
+                "buffer_pool", "cpu_mips"} <= set(AXES)
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown axis"):
+            sweep("voltage", [1, 2])
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def processors_sweep(self):
+        return sweep("processors", [4, 8], figure="8a",
+                     strategies=("range", "magic"), **SMALL)
+
+    def test_grid_complete(self, processors_sweep):
+        assert len(processors_sweep.points) == 4  # 2 values x 2 strategies
+        assert processors_sweep.axis == "processors"
+
+    def test_series_extraction(self, processors_sweep):
+        series = processors_sweep.series("magic")
+        assert [v for v, _ in series] == [4, 8]
+        assert all(th > 0 for _, th in series)
+
+    def test_ratio_series(self, processors_sweep):
+        ratios = processors_sweep.ratio_series("magic", "range")
+        assert len(ratios) == 2
+        assert all(r > 0 for _, r in ratios)
+
+    def test_missing_strategy_empty(self, processors_sweep):
+        assert processors_sweep.series("berd") == []
+
+    def test_qb_selectivity_axis(self):
+        result = sweep("qb_selectivity", [10, 20], figure="9",
+                       strategies=("magic",), **SMALL)
+        assert len(result.points) == 2
+
+    def test_correlation_axis(self):
+        result = sweep("correlation", [0.0, 1.0], figure="8a",
+                       strategies=("magic",), **SMALL)
+        th = dict(result.series("magic"))
+        # Perfectly correlated attributes localize and speed MAGIC up.
+        assert th[1.0] > th[0.0]
+
+    def test_buffer_pool_axis(self):
+        result = sweep("buffer_pool", [0, 256], figure="8a",
+                       strategies=("range",), **SMALL)
+        assert len(result.points) == 2
+
+
+class TestRunPoint:
+    def test_overrides_apply(self):
+        run = run_point(FIGURES["8a"], "range", multiprogramming_level=4,
+                        cardinality=10_000, num_sites=4,
+                        measured_queries=40, correlation=1.0)
+        assert run.completed == 40
+        assert run.multiprogramming_level == 4
+
+    def test_qb_tuples_override(self):
+        run = run_point(FIGURES["8a"], "berd", multiprogramming_level=4,
+                        cardinality=10_000, num_sites=4,
+                        measured_queries=40, qb_low_tuples=20)
+        assert run.completed == 40

@@ -1,0 +1,131 @@
+"""Tests for the LRU buffer pool and the explicit-buffer machine mode."""
+
+import pytest
+
+from repro.core import BerdStrategy, RangeStrategy
+from repro.gamma import GAMMA_PARAMETERS, BufferPool, GammaMachine
+from repro.storage import make_wisconsin
+from repro.workload import make_mix
+
+INDEXES = {"unique1": False, "unique2": True}
+
+
+class TestBufferPoolUnit:
+    def test_miss_then_hit(self):
+        pool = BufferPool(4)
+        assert not pool.access("p1")
+        assert pool.access("p1")
+        assert pool.hits == 1
+        assert pool.misses == 1
+
+    def test_lru_eviction_order(self):
+        pool = BufferPool(2)
+        pool.access("a")
+        pool.access("b")
+        pool.access("a")      # refresh a
+        pool.access("c")      # evicts b (least recent)
+        assert pool.contains("a")
+        assert not pool.contains("b")
+        assert pool.contains("c")
+        assert pool.evictions == 1
+
+    def test_capacity_respected(self):
+        pool = BufferPool(3)
+        for i in range(10):
+            pool.access(i)
+        assert len(pool) == 3
+
+    def test_contains_does_not_touch(self):
+        pool = BufferPool(2)
+        pool.access("a")
+        pool.access("b")
+        pool.contains("a")     # must NOT refresh recency
+        pool.access("c")       # evicts a
+        assert not pool.contains("a")
+
+    def test_hit_ratio(self):
+        pool = BufferPool(10)
+        pool.access("x")
+        pool.access("x")
+        pool.access("x")
+        pool.access("y")
+        assert pool.hit_ratio == pytest.approx(0.5)
+
+    def test_hit_ratio_empty(self):
+        assert BufferPool(1).hit_ratio == 0.0
+
+    def test_pin_range(self):
+        pool = BufferPool(10)
+        admitted = pool.pin_range(["a", "b", "c"])
+        assert admitted == 3
+        assert pool.hits == 0  # warm-up does not skew stats
+        assert pool.access("a")
+
+    def test_reset_stats_keeps_contents(self):
+        pool = BufferPool(4)
+        pool.access("a")
+        pool.reset_stats()
+        assert pool.misses == 0
+        assert pool.contains("a")
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+
+
+class TestBufferedMachine:
+    @pytest.fixture(scope="class")
+    def relation(self):
+        return make_wisconsin(20_000, correlation="low", seed=50)
+
+    def _run(self, relation, pool_pages, strategy=None):
+        strategy = strategy or RangeStrategy("unique1")
+        placement = strategy.partition(relation, 8)
+        params = GAMMA_PARAMETERS.with_overrides(
+            buffer_pool_pages=pool_pages)
+        machine = GammaMachine(placement, indexes=INDEXES, params=params,
+                               seed=6)
+        result = machine.run(make_mix("low-low", domain=20_000),
+                             multiprogramming_level=4,
+                             measured_queries=120)
+        return machine, result
+
+    def test_pools_created_per_node(self, relation):
+        machine, _ = self._run(relation, pool_pages=64)
+        assert all(n.buffer_pool is not None for n in machine.nodes)
+
+    def test_no_pool_by_default(self, relation):
+        placement = RangeStrategy("unique1").partition(relation, 8)
+        machine = GammaMachine(placement, indexes=INDEXES, seed=6)
+        assert all(n.buffer_pool is None for n in machine.nodes)
+
+    def test_hot_index_pages_get_cached(self, relation):
+        machine, _ = self._run(relation, pool_pages=128)
+        ratios = [n.buffer_pool.hit_ratio for n in machine.nodes]
+        assert sum(ratios) / len(ratios) > 0.3
+
+    def test_bigger_pool_higher_throughput(self, relation):
+        _, small = self._run(relation, pool_pages=8)
+        _, large = self._run(relation, pool_pages=512)
+        assert large.throughput > small.throughput
+
+    def test_berd_probes_work_buffered(self, relation):
+        machine, result = self._run(
+            relation, pool_pages=128,
+            strategy=BerdStrategy("unique1", ["unique2"]))
+        assert result.completed == 120
+        probes = sum(n.operator_manager.probes_executed
+                     for n in machine.nodes)
+        assert probes > 0
+
+    def test_results_still_exact(self, relation):
+        """The buffer pool changes timing, never answers."""
+        from repro.core import RangePredicate
+        placement = RangeStrategy("unique1").partition(relation, 8)
+        params = GAMMA_PARAMETERS.with_overrides(buffer_pool_pages=64)
+        machine = GammaMachine(placement, indexes=INDEXES, params=params,
+                               seed=6)
+        handle = machine.scheduler.submit(
+            "R", "Q", RangePredicate("unique1", 100, 299))
+        machine.env.run(until=handle.completion)
+        assert handle.tuples_returned == 200

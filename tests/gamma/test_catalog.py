@@ -1,0 +1,134 @@
+"""Unit tests for the system catalog."""
+
+import random
+
+import pytest
+
+from repro.core import BerdStrategy, MagicStrategy, MagicTuning, RangeStrategy
+from repro.gamma import GAMMA_PARAMETERS, SystemCatalog
+from repro.storage import DiskLayout, make_wisconsin
+
+P = 8
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return make_wisconsin(cardinality=10_000, correlation="low", seed=20)
+
+
+@pytest.fixture
+def catalog():
+    return SystemCatalog(GAMMA_PARAMETERS)
+
+
+def layouts():
+    return [DiskLayout(GAMMA_PARAMETERS.disk_geometry) for _ in range(P)]
+
+
+INDEXES = {"unique1": False, "unique2": True}
+
+
+class TestRegistration:
+    def test_register_range_placement(self, relation, catalog):
+        placement = RangeStrategy("unique1").partition(relation, P)
+        entry = catalog.register(placement, INDEXES, layouts())
+        assert len(entry.sites) == P
+        # Base extent sized for the fragment.
+        frag = placement.fragment(0)
+        expected_pages = -(-frag.cardinality // 36)
+        assert entry.sites[0].base_extent.num_pages == expected_pages
+
+    def test_double_registration_rejected(self, relation, catalog):
+        placement = RangeStrategy("unique1").partition(relation, P)
+        catalog.register(placement, INDEXES, layouts())
+        with pytest.raises(ValueError):
+            catalog.register(placement, INDEXES, layouts())
+
+    def test_layout_count_checked(self, relation, catalog):
+        placement = RangeStrategy("unique1").partition(relation, P)
+        with pytest.raises(ValueError):
+            catalog.register(placement, INDEXES, layouts()[:3])
+
+    def test_unknown_relation_rejected(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.entry("missing")
+
+
+class TestIndexes:
+    def test_btrees_per_site_and_attribute(self, relation, catalog):
+        placement = RangeStrategy("unique1").partition(relation, P)
+        catalog.register(placement, INDEXES, layouts())
+        nonclustered = catalog.btree("R", 0, "unique1")
+        clustered = catalog.btree("R", 0, "unique2")
+        assert not nonclustered.clustered
+        assert clustered.clustered
+        assert nonclustered.num_keys == placement.fragment(0).cardinality
+
+    def test_missing_index_rejected(self, relation, catalog):
+        placement = RangeStrategy("unique1").partition(relation, P)
+        catalog.register(placement, INDEXES, layouts())
+        with pytest.raises(KeyError):
+            catalog.btree("R", 0, "ten")
+
+    def test_berd_aux_btrees_registered(self, relation, catalog):
+        placement = BerdStrategy("unique1", ["unique2"]).partition(relation, P)
+        catalog.register(placement, INDEXES, layouts())
+        aux = catalog.aux_btree("R", 3, "unique2")
+        assert aux.clustered
+        assert aux.num_keys == placement.aux_cardinality("unique2", 3)
+
+    def test_aux_btree_missing_for_range(self, relation, catalog):
+        placement = RangeStrategy("unique1").partition(relation, P)
+        catalog.register(placement, INDEXES, layouts())
+        with pytest.raises(KeyError):
+            catalog.aux_btree("R", 0, "unique2")
+
+
+class TestPhysicalPositions:
+    def test_random_read_within_extent(self, relation, catalog):
+        placement = RangeStrategy("unique1").partition(relation, P)
+        entry = catalog.register(placement, INDEXES, layouts())
+        rng = random.Random(0)
+        geometry = GAMMA_PARAMETERS.disk_geometry
+        extent = entry.sites[2].base_extent
+        lo = extent.start_page // geometry.pages_per_cylinder
+        hi = (extent.end_page - 1) // geometry.pages_per_cylinder
+        for _ in range(50):
+            cyl = catalog.random_read_cylinder("R", 2, rng)
+            assert lo <= cyl <= hi
+
+    def test_sequential_run_fits(self, relation, catalog):
+        placement = RangeStrategy("unique1").partition(relation, P)
+        catalog.register(placement, INDEXES, layouts())
+        rng = random.Random(0)
+        for _ in range(20):
+            cyl = catalog.sequential_run_cylinder("R", 0, 5, rng)
+            assert cyl >= 0
+
+    def test_aux_positions(self, relation, catalog):
+        placement = BerdStrategy("unique1", ["unique2"]).partition(relation, P)
+        catalog.register(placement, INDEXES, layouts())
+        rng = random.Random(0)
+        cyl = catalog.aux_read_cylinder("R", 0, "unique2", rng)
+        assert cyl >= 0
+        cyl2 = catalog.aux_sequential_run_cylinder("R", 0, "unique2", 1, rng)
+        assert cyl2 >= 0
+
+
+class TestLocalizationCost:
+    def test_magic_costs_more_than_range(self, relation, catalog):
+        range_placement = RangeStrategy("unique1").partition(relation, P)
+        magic_placement = MagicStrategy(
+            ["unique1", "unique2"],
+            tuning=MagicTuning(shape={"unique1": 20, "unique2": 20},
+                               mi={"unique1": 3.0, "unique2": 3.0}),
+        ).partition(relation, P)
+        catalog.register(range_placement, INDEXES, layouts())
+
+        other = SystemCatalog(GAMMA_PARAMETERS)
+        other.register(magic_placement, INDEXES, layouts())
+
+        assert other.localization_instructions("R") > \
+            catalog.localization_instructions("R") / 2
+        # Both are bounded: localization never costs more than ~1 ms CPU.
+        assert other.localization_instructions("R") < 3000

@@ -1,0 +1,104 @@
+"""Edge-case tests across the machine: empty results, domain edges,
+hash broadcasting, tiny machines."""
+
+import pytest
+
+from repro.core import (
+    HashStrategy,
+    MagicStrategy,
+    MagicTuning,
+    RangePredicate,
+    RangeStrategy,
+)
+from repro.gamma import GammaMachine
+from repro.storage import make_wisconsin
+from repro.workload import make_mix
+
+INDEXES = {"unique1": False, "unique2": True}
+
+
+class TestEmptyAndEdgePredicates:
+    @pytest.fixture(scope="class")
+    def machine(self):
+        relation = make_wisconsin(5_000, correlation="identical", seed=110)
+        strategy = MagicStrategy(
+            ["unique1", "unique2"],
+            tuning=MagicTuning(shape={"unique1": 10, "unique2": 10},
+                               mi={"unique1": 2.0, "unique2": 2.0}))
+        placement = strategy.partition(relation, 4)
+        return GammaMachine(placement, indexes=INDEXES, seed=2)
+
+    def test_magic_empty_target_sites_complete(self, machine):
+        """With identical attributes, off-diagonal regions are empty;
+        a query whose covered entries hold no tuples completes without
+        running any select."""
+        placement = machine.catalog.entry("R").placement
+        # Find a predicate routed to zero sites, if pruning allows one.
+        decision = placement.route(RangePredicate("unique1", 0, 0))
+        handle = machine.scheduler.submit(
+            "R", "edge", RangePredicate("unique1", 0, 0))
+        machine.env.run(until=handle.completion)
+        assert handle.tuples_returned == 1
+        assert machine.scheduler.in_flight == 0
+
+    def test_full_domain_predicate(self, machine):
+        handle = machine.scheduler.submit(
+            "R", "all", RangePredicate("unique2", 0, 4_999))
+        machine.env.run(until=handle.completion)
+        assert handle.tuples_returned == 5_000
+
+    def test_predicate_beyond_domain(self, machine):
+        handle = machine.scheduler.submit(
+            "R", "none", RangePredicate("unique2", 1_000_000, 2_000_000))
+        machine.env.run(until=handle.completion)
+        assert handle.tuples_returned == 0
+
+    def test_boundary_values(self, machine):
+        for value in (0, 4_999):
+            handle = machine.scheduler.submit(
+                "R", "pt", RangePredicate.equals("unique1", value))
+            machine.env.run(until=handle.completion)
+            assert handle.tuples_returned == 1
+
+
+class TestHashOnTheMachine:
+    def test_hash_equality_single_site(self):
+        relation = make_wisconsin(5_000, correlation="low", seed=111)
+        placement = HashStrategy("unique1").partition(relation, 4)
+        machine = GammaMachine(placement, indexes=INDEXES, seed=2)
+        handle = machine.scheduler.submit(
+            "R", "eq", RangePredicate.equals("unique1", 42))
+        machine.env.run(until=handle.completion)
+        assert handle.tuples_returned == 1
+        assert handle.sites_used == 1
+
+    def test_hash_range_broadcasts_and_answers(self):
+        relation = make_wisconsin(5_000, correlation="low", seed=111)
+        placement = HashStrategy("unique1").partition(relation, 4)
+        machine = GammaMachine(placement, indexes=INDEXES, seed=2)
+        handle = machine.scheduler.submit(
+            "R", "rng", RangePredicate("unique1", 100, 199))
+        machine.env.run(until=handle.completion)
+        assert handle.tuples_returned == 100
+        assert handle.sites_used == 4
+
+
+class TestTinyMachines:
+    def test_single_processor_machine(self):
+        relation = make_wisconsin(2_000, correlation="low", seed=112)
+        placement = RangeStrategy("unique1").partition(relation, 1)
+        machine = GammaMachine(placement, indexes=INDEXES, seed=2)
+        result = machine.run(make_mix("low-low", domain=2_000),
+                             multiprogramming_level=2,
+                             measured_queries=40)
+        assert result.completed == 40
+
+    def test_mpl_larger_than_machine(self):
+        relation = make_wisconsin(2_000, correlation="low", seed=112)
+        placement = RangeStrategy("unique1").partition(relation, 2)
+        machine = GammaMachine(placement, indexes=INDEXES, seed=2)
+        result = machine.run(make_mix("low-low", domain=2_000),
+                             multiprogramming_level=16,
+                             measured_queries=40)
+        assert result.completed == 40
+        assert result.throughput > 0

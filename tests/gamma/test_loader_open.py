@@ -1,0 +1,104 @@
+"""Tests for the declustering loader and the open-arrival driver."""
+
+import pytest
+
+from repro.core import BerdStrategy, MagicStrategy, MagicTuning, RangeStrategy
+from repro.gamma import GammaMachine, OpenArrivalSource, simulate_declustering
+from repro.gamma.metrics import RunMetrics
+from repro.storage import make_wisconsin
+from repro.workload import make_mix
+
+P = 8
+INDEXES = {"unique1": False, "unique2": True}
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return make_wisconsin(cardinality=10_000, correlation="low", seed=31)
+
+
+def magic_strategy():
+    return MagicStrategy(
+        ["unique1", "unique2"],
+        tuning=MagicTuning(shape={"unique1": 16, "unique2": 16},
+                           mi={"unique1": 2.0, "unique2": 4.0}))
+
+
+class TestDeclusteringLoader:
+    def test_all_strategies_load(self, relation):
+        for strategy in (RangeStrategy("unique1"),
+                         BerdStrategy("unique1", ["unique2"]),
+                         magic_strategy()):
+            placement = strategy.partition(relation, P)
+            result = simulate_declustering(placement, INDEXES, seed=1)
+            assert result.elapsed_seconds > 0
+            assert result.pages_written > 0
+
+    def test_magic_pays_two_scans(self, relation):
+        range_load = simulate_declustering(
+            RangeStrategy("unique1").partition(relation, P), INDEXES, seed=1)
+        magic_load = simulate_declustering(
+            magic_strategy().partition(relation, P), INDEXES, seed=1)
+        assert magic_load.pages_read == 2 * range_load.pages_read
+        assert magic_load.elapsed_seconds > 1.3 * range_load.elapsed_seconds
+
+    def test_berd_pays_auxiliary_pass(self, relation):
+        range_load = simulate_declustering(
+            RangeStrategy("unique1").partition(relation, P), INDEXES, seed=1)
+        berd_load = simulate_declustering(
+            BerdStrategy("unique1", ["unique2"]).partition(relation, P),
+            INDEXES, seed=1)
+        assert berd_load.pages_written > range_load.pages_written
+        assert berd_load.elapsed_seconds > range_load.elapsed_seconds
+
+    def test_str_rendering(self, relation):
+        result = simulate_declustering(
+            RangeStrategy("unique1").partition(relation, P), INDEXES, seed=1)
+        assert "load" in str(result)
+        assert "reads" in str(result)
+
+
+class TestOpenArrivals:
+    def _machine(self, relation):
+        placement = RangeStrategy("unique1").partition(relation, P)
+        return GammaMachine(placement, indexes=INDEXES, seed=2)
+
+    def test_open_driver_completes_queries(self, relation):
+        machine = self._machine(relation)
+        mix = make_mix("low-low", domain=10_000)
+        driver = OpenArrivalSource(machine.env, machine.scheduler, mix,
+                                   machine.metrics,
+                                   arrivals_per_second=20.0, seed=3)
+        driver.start()
+        machine.env.run(until=machine.metrics.on_completion_count(50))
+        assert machine.metrics.completed_total >= 50
+
+    def test_underloaded_system_keeps_up(self, relation):
+        """At an arrival rate far below capacity, completion rate tracks
+        the arrival rate."""
+        machine = self._machine(relation)
+        mix = make_mix("low-low", domain=10_000)
+        driver = OpenArrivalSource(machine.env, machine.scheduler, mix,
+                                   machine.metrics,
+                                   arrivals_per_second=10.0, seed=4)
+        driver.start()
+        machine.env.run(until=60.0)
+        rate = machine.metrics.completed_total / 60.0
+        assert rate == pytest.approx(10.0, rel=0.25)
+
+    def test_invalid_rate_rejected(self, relation):
+        machine = self._machine(relation)
+        mix = make_mix("low-low", domain=10_000)
+        with pytest.raises(ValueError):
+            OpenArrivalSource(machine.env, machine.scheduler, mix,
+                              machine.metrics, arrivals_per_second=0.0)
+
+    def test_double_start_rejected(self, relation):
+        machine = self._machine(relation)
+        mix = make_mix("low-low", domain=10_000)
+        driver = OpenArrivalSource(machine.env, machine.scheduler, mix,
+                                   machine.metrics,
+                                   arrivals_per_second=5.0)
+        driver.start()
+        with pytest.raises(RuntimeError):
+            driver.start()

@@ -1,0 +1,137 @@
+"""Integration tests: the whole Gamma machine end to end."""
+
+import pytest
+
+from repro.core import (
+    BerdStrategy,
+    MagicStrategy,
+    MagicTuning,
+    RangeStrategy,
+)
+from repro.gamma import GAMMA_PARAMETERS, GammaMachine
+from repro.storage import make_wisconsin
+from repro.workload import make_mix
+
+P = 8
+INDEXES = {"unique1": False, "unique2": True}
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return make_wisconsin(cardinality=20_000, correlation="low", seed=21)
+
+
+@pytest.fixture(scope="module")
+def mix():
+    return make_mix("low-low", domain=20_000)
+
+
+def build(relation, strategy):
+    placement = strategy.partition(relation, P)
+    return GammaMachine(placement, indexes=INDEXES, seed=3)
+
+
+class TestBasicRuns:
+    def test_range_run_completes(self, relation, mix):
+        machine = build(relation, RangeStrategy("unique1"))
+        result = machine.run(mix, multiprogramming_level=4,
+                             measured_queries=60)
+        assert result.completed == 60
+        assert result.throughput > 0
+        assert result.elapsed_seconds > 0
+
+    def test_berd_run_completes(self, relation, mix):
+        machine = build(relation, BerdStrategy("unique1", ["unique2"]))
+        result = machine.run(mix, multiprogramming_level=4,
+                             measured_queries=60)
+        assert result.completed == 60
+        assert result.throughput > 0
+
+    def test_magic_run_completes(self, relation, mix):
+        strategy = MagicStrategy(
+            ["unique1", "unique2"],
+            tuning=MagicTuning(shape={"unique1": 20, "unique2": 20},
+                               mi={"unique1": 2.0, "unique2": 4.0}))
+        machine = build(relation, strategy)
+        result = machine.run(mix, multiprogramming_level=4,
+                             measured_queries=60)
+        assert result.completed == 60
+
+    def test_response_times_by_type_populated(self, relation, mix):
+        machine = build(relation, RangeStrategy("unique1"))
+        result = machine.run(mix, multiprogramming_level=4,
+                             measured_queries=80)
+        assert set(result.response_time_by_type) == {"QA", "QB"}
+        assert all(v > 0 for v in result.response_time_by_type.values())
+
+    def test_utilizations_in_range(self, relation, mix):
+        machine = build(relation, RangeStrategy("unique1"))
+        result = machine.run(mix, multiprogramming_level=8,
+                             measured_queries=80)
+        assert 0 < result.cpu_utilization <= 1.0
+        assert 0 < result.disk_utilization <= 1.0
+        assert 0 <= result.scheduler_cpu_utilization <= 1.0
+
+    def test_invalid_run_args(self, relation, mix):
+        machine = build(relation, RangeStrategy("unique1"))
+        with pytest.raises(ValueError):
+            machine.run(mix, multiprogramming_level=0, measured_queries=10)
+        with pytest.raises(ValueError):
+            machine.run(mix, multiprogramming_level=1, measured_queries=0)
+
+
+class TestClosedLoopBehaviour:
+    def test_throughput_rises_with_mpl(self, relation, mix):
+        """A closed system's throughput grows with MPL before saturation."""
+        lo = build(relation, RangeStrategy("unique1")).run(
+            mix, multiprogramming_level=1, measured_queries=60)
+        hi = build(relation, RangeStrategy("unique1")).run(
+            mix, multiprogramming_level=8, measured_queries=60)
+        assert hi.throughput > lo.throughput * 1.5
+
+    def test_response_time_grows_with_mpl(self, relation, mix):
+        lo = build(relation, RangeStrategy("unique1")).run(
+            mix, multiprogramming_level=1, measured_queries=60)
+        hi = build(relation, RangeStrategy("unique1")).run(
+            mix, multiprogramming_level=16, measured_queries=60)
+        assert hi.response_time_mean > lo.response_time_mean
+
+    def test_reproducible_given_seed(self, relation, mix):
+        a = build(relation, RangeStrategy("unique1")).run(
+            mix, multiprogramming_level=4, measured_queries=50)
+        b = build(relation, RangeStrategy("unique1")).run(
+            mix, multiprogramming_level=4, measured_queries=50)
+        assert a.throughput == b.throughput
+        assert a.response_time_mean == b.response_time_mean
+
+    def test_different_seeds_differ(self, relation, mix):
+        placement = RangeStrategy("unique1").partition(relation, P)
+        a = GammaMachine(placement, indexes=INDEXES, seed=1).run(
+            mix, multiprogramming_level=4, measured_queries=50)
+        b = GammaMachine(placement, indexes=INDEXES, seed=2).run(
+            mix, multiprogramming_level=4, measured_queries=50)
+        assert a.throughput != b.throughput
+
+
+class TestPaperDirectionalResults:
+    """Small-scale sanity versions of the paper's headline orderings."""
+
+    def test_multi_attribute_beats_range_at_high_mpl(self, relation, mix):
+        range_result = build(relation, RangeStrategy("unique1")).run(
+            mix, multiprogramming_level=16, measured_queries=150)
+        magic = MagicStrategy(
+            ["unique1", "unique2"],
+            tuning=MagicTuning(shape={"unique1": 20, "unique2": 20},
+                               mi={"unique1": 2.0, "unique2": 4.0}))
+        magic_result = build(relation, magic).run(
+            mix, multiprogramming_level=16, measured_queries=150)
+        assert magic_result.throughput > range_result.throughput
+
+    def test_berd_two_phase_visible_in_message_count(self, relation, mix):
+        berd = build(relation, BerdStrategy("unique1", ["unique2"])).run(
+            mix, multiprogramming_level=4, measured_queries=100)
+        rng = build(relation, RangeStrategy("unique1")).run(
+            mix, multiprogramming_level=4, measured_queries=100)
+        # BERD pays probe messages for half the workload but sends far
+        # fewer select requests than range's full broadcast.
+        assert berd.messages_sent < rng.messages_sent

@@ -1,0 +1,108 @@
+"""Unit tests for run metrics, including confidence intervals."""
+
+import pytest
+
+from repro.core import RangeStrategy
+from repro.des import Environment
+from repro.gamma import GammaMachine
+from repro.gamma.metrics import RunMetrics, RunResult
+from repro.storage import make_wisconsin
+from repro.workload import make_mix
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestRunMetrics:
+    def test_completion_counting(self, env):
+        metrics = RunMetrics(env)
+        metrics.record_completion("QA", 0.1)
+        metrics.record_completion("QB", 0.2)
+        assert metrics.completed_total == 2
+        assert metrics.mean_response_time() == pytest.approx(0.15)
+        assert metrics.mean_response_time("QA") == pytest.approx(0.1)
+        assert metrics.mean_response_time("QZ") == 0.0
+
+    def test_completion_watcher(self, env):
+        metrics = RunMetrics(env)
+        event = metrics.on_completion_count(2)
+        metrics.record_completion("QA", 0.1)
+        assert not event.triggered
+        metrics.record_completion("QA", 0.1)
+        assert event.triggered
+
+    def test_watcher_already_satisfied(self, env):
+        metrics = RunMetrics(env)
+        metrics.record_completion("QA", 0.1)
+        event = metrics.on_completion_count(1)
+        assert event.triggered
+
+    def test_window_reset(self, env):
+        metrics = RunMetrics(env)
+        metrics.record_completion("QA", 0.1)
+        env.run(until=10)
+        metrics.reset_window()
+        assert metrics.completed_window == 0
+        assert metrics.throughput() == 0.0
+        metrics.record_completion("QA", 0.1)
+        env.run(until=20)
+        assert metrics.throughput() == pytest.approx(0.1)
+
+    def test_throughput_zero_elapsed(self, env):
+        metrics = RunMetrics(env)
+        assert metrics.throughput() == 0.0
+
+
+class TestConfidenceIntervals:
+    def test_steady_stream_has_tight_ci(self, env):
+        metrics = RunMetrics(env)
+
+        def stream(env):
+            for _ in range(200):
+                yield env.timeout(1.0)
+                metrics.record_completion("QA", 0.1)
+
+        env.process(stream(env))
+        env.run()
+        ci = metrics.throughput_confidence()
+        # Perfectly regular completions: tiny CI relative to 1 q/s.
+        assert ci < 0.1
+
+    def test_too_few_completions_zero_ci(self, env):
+        metrics = RunMetrics(env)
+        for _ in range(3):
+            metrics.record_completion("QA", 0.1)
+        env.run(until=10)
+        assert metrics.throughput_confidence(batches=10) == 0.0
+
+    def test_invalid_batches(self, env):
+        metrics = RunMetrics(env)
+        with pytest.raises(ValueError):
+            metrics.throughput_confidence(batches=1)
+
+    def test_machine_reports_ci(self):
+        relation = make_wisconsin(10_000, correlation="low", seed=70)
+        placement = RangeStrategy("unique1").partition(relation, 4)
+        machine = GammaMachine(placement,
+                               indexes={"unique1": False, "unique2": True},
+                               seed=3)
+        result = machine.run(make_mix("low-low", domain=10_000),
+                             multiprogramming_level=4,
+                             measured_queries=150)
+        assert result.throughput_ci > 0
+        # The CI must be a sane fraction of the estimate.
+        assert result.throughput_ci < result.throughput
+
+
+class TestRunResult:
+    def test_str_contains_key_numbers(self):
+        result = RunResult(multiprogramming_level=8, throughput=123.4,
+                           completed=100, elapsed_seconds=1.0,
+                           response_time_mean=0.05,
+                           response_time_by_type={"QA": 0.04})
+        text = str(result)
+        assert "MPL=  8" in text
+        assert "123.4" in text
+        assert "QA" in text

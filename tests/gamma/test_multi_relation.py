@@ -1,0 +1,96 @@
+"""Tests for multi-relation machines and composite workloads."""
+
+import pytest
+
+from repro.core import MagicStrategy, MagicTuning, RangePredicate, RangeStrategy
+from repro.gamma import GammaMachine
+from repro.storage import make_wisconsin
+from repro.workload import CompositeSource, make_mix
+
+INDEXES = {"unique1": False, "unique2": True}
+P = 8
+
+
+@pytest.fixture(scope="module")
+def machine():
+    r = make_wisconsin(10_000, seed=1, name="R")
+    s = make_wisconsin(5_000, seed=2, name="S")
+    machine = GammaMachine(
+        RangeStrategy("unique1").partition(r, P), indexes=INDEXES, seed=1)
+    magic = MagicStrategy(
+        ["unique1", "unique2"],
+        tuning=MagicTuning(shape={"unique1": 8, "unique2": 8},
+                           mi={"unique1": 2.0, "unique2": 4.0}))
+    machine.add_relation(magic.partition(s, P), INDEXES)
+    return machine
+
+
+class TestMultiRelation:
+    def test_both_relations_registered(self, machine):
+        assert machine.catalog.entry("R").placement.relation.name == "R"
+        assert machine.catalog.entry("S").placement.relation.name == "S"
+
+    def test_extents_do_not_overlap(self, machine):
+        r_extent = machine.catalog.entry("R").sites[0].base_extent
+        s_extent = machine.catalog.entry("S").sites[0].base_extent
+        assert (r_extent.end_page <= s_extent.start_page
+                or s_extent.end_page <= r_extent.start_page)
+
+    def test_queries_against_each_relation(self, machine):
+        for relation, domain in (("R", 10_000), ("S", 5_000)):
+            handle = machine.scheduler.submit(
+                relation, "q", RangePredicate("unique1", 0, 99))
+            machine.env.run(until=handle.completion)
+            assert handle.tuples_returned == 100
+
+    def test_site_count_mismatch_rejected(self, machine):
+        other = make_wisconsin(1_000, seed=3, name="T")
+        placement = RangeStrategy("unique1").partition(other, P + 1)
+        with pytest.raises(ValueError):
+            machine.add_relation(placement, INDEXES)
+
+    def test_duplicate_name_rejected(self, machine):
+        dup = make_wisconsin(1_000, seed=4, name="R")
+        placement = RangeStrategy("unique1").partition(dup, P)
+        with pytest.raises(ValueError):
+            machine.add_relation(placement, INDEXES)
+
+
+class TestCompositeSource:
+    def test_mixes_relations(self):
+        import random
+        source = CompositeSource(
+            (make_mix("low-low", relation="R", domain=10_000),
+             make_mix("low-low", relation="S", domain=5_000)),
+            (0.5, 0.5))
+        rng = random.Random(0)
+        relations = {source(rng)[1] for _ in range(200)}
+        assert relations == {"R", "S"}
+
+    def test_weights_respected(self):
+        import random
+        source = CompositeSource(
+            (make_mix("low-low", relation="R"),
+             make_mix("low-low", relation="S")),
+            (0.9, 0.1))
+        rng = random.Random(1)
+        r_share = sum(1 for _ in range(2000) if source(rng)[1] == "R") / 2000
+        assert 0.85 < r_share < 0.95
+
+    def test_validation(self):
+        mix = make_mix("low-low")
+        with pytest.raises(ValueError):
+            CompositeSource((mix,), (0.5, 0.5))
+        with pytest.raises(ValueError):
+            CompositeSource((), ())
+        with pytest.raises(ValueError):
+            CompositeSource((mix,), (0.0,))
+
+    def test_end_to_end_run(self, machine):
+        source = CompositeSource(
+            (make_mix("low-low", relation="R", domain=10_000),
+             make_mix("low-low", relation="S", domain=5_000)),
+            (0.6, 0.4))
+        result = machine.run(source, multiprogramming_level=4,
+                             measured_queries=100)
+        assert result.completed == 100

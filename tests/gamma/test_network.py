@@ -1,0 +1,116 @@
+"""Unit tests for the network interfaces and message delivery."""
+
+import pytest
+
+from repro.des import Environment
+from repro.gamma import GAMMA_PARAMETERS, Cpu, Network
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def net(env):
+    network = Network(env, GAMMA_PARAMETERS)
+    for node in range(3):
+        network.attach(node, Cpu(env, GAMMA_PARAMETERS, name=f"cpu{node}"))
+    return network
+
+
+class TestAttachment:
+    def test_duplicate_attach_rejected(self, env, net):
+        with pytest.raises(ValueError):
+            net.attach(0, Cpu(env, GAMMA_PARAMETERS))
+
+    def test_unknown_endpoint_rejected(self, net):
+        with pytest.raises(KeyError):
+            net.endpoint(99)
+
+
+class TestDelivery:
+    def test_message_lands_in_mailbox(self, env, net):
+        def receiver(env):
+            item = yield net.endpoint(1).mailbox.get()
+            return (item, env.now)
+
+        def sender(env):
+            yield from net.deliver(0, 1, 100, "hello")
+
+        r = env.process(receiver(env))
+        env.process(sender(env))
+        env.run()
+        message, when = r.value
+        assert message == "hello"
+        # End-to-end >= the Table 2 cost for 100 bytes.
+        assert when >= GAMMA_PARAMETERS.network_send_seconds(100)
+
+    def test_delivery_charges_both_cpus(self, env, net):
+        def sender(env):
+            yield from net.deliver(0, 1, 100, "x")
+
+        env.process(sender(env))
+        env.run()
+        handling = GAMMA_PARAMETERS.instructions_to_seconds(
+            GAMMA_PARAMETERS.message_handling_instructions)
+        assert net.endpoint(0).cpu.busy_seconds == pytest.approx(handling)
+        assert net.endpoint(1).cpu.busy_seconds == pytest.approx(handling)
+
+    def test_nic_serializes_concurrent_sends(self, env, net):
+        """Two large packets from one node cannot overlap on its NIC."""
+        done = []
+
+        def sender(env, tag):
+            yield from net.deliver(0, 1, 8192, tag)
+            done.append((tag, env.now))
+
+        env.process(sender(env, "a"))
+        env.process(sender(env, "b"))
+        env.run()
+        occupancy = GAMMA_PARAMETERS.network_occupancy_seconds(8192)
+        gap = abs(done[1][1] - done[0][1])
+        assert gap >= occupancy * 0.99
+
+    def test_self_delivery_skips_wire(self, env, net):
+        def sender(env):
+            yield from net.deliver(0, 0, 100, "loop")
+            return env.now
+
+        p = env.process(sender(env))
+        env.run()
+        handling = GAMMA_PARAMETERS.instructions_to_seconds(
+            GAMMA_PARAMETERS.message_handling_instructions)
+        assert p.value == pytest.approx(handling)
+        assert len(net.endpoint(0).mailbox) == 1
+
+    def test_counters(self, env, net):
+        def sender(env):
+            yield from net.deliver(0, 1, 100, "x")
+            yield from net.deliver(0, 2, 8192, "y")
+
+        env.process(sender(env))
+        env.run()
+        assert net.messages_sent == 2
+        assert net.bytes_sent == 8292
+        net.reset_stats()
+        assert net.messages_sent == 0
+
+    def test_external_delivery_no_receiver_contention(self, env, net):
+        def sender(env):
+            yield from net.deliver_external(0, 8192)
+            return env.now
+
+        p = env.process(sender(env))
+        env.run()
+        expected = (GAMMA_PARAMETERS.instructions_to_seconds(
+                        GAMMA_PARAMETERS.message_handling_instructions)
+                    + GAMMA_PARAMETERS.network_send_seconds(8192))
+        assert p.value == pytest.approx(expected)
+        # No mailbox received anything.
+        assert all(len(net.endpoint(i).mailbox) == 0 for i in range(3))
+
+    def test_fire_and_forget_send(self, env, net):
+        net.send(0, 1, 100, "async")
+        env.run()
+        assert len(net.endpoint(1).mailbox) == 1

@@ -1,0 +1,92 @@
+"""Unit tests for the Table 2 simulation parameters."""
+
+import pytest
+
+from repro.gamma import GAMMA_PARAMETERS, SimulationParameters
+
+
+class TestTableTwoValues:
+    """Pin every value Table 2 lists."""
+
+    def test_disk_parameters(self):
+        p = GAMMA_PARAMETERS
+        assert p.disk_settle_seconds == 0.002
+        assert p.disk_max_latency_seconds == 0.01668
+        assert p.disk_transfer_bytes_per_second == 1_800_000.0
+        assert p.disk_seek_factor_ms == 0.78
+        assert p.page_bytes == 8192
+        assert p.dma_instructions_per_page == 4000
+
+    def test_network_parameters(self):
+        p = GAMMA_PARAMETERS
+        assert p.max_packet_bytes == 8192
+        assert p.send_100_bytes_seconds == 0.0006
+        assert p.send_8192_bytes_seconds == 0.0056
+
+    def test_cpu_parameters(self):
+        p = GAMMA_PARAMETERS
+        assert p.cpu_instructions_per_second == 3_000_000.0
+        assert p.read_page_instructions == 14_600
+        assert p.write_page_instructions == 28_000
+
+    def test_miscellaneous(self):
+        p = GAMMA_PARAMETERS
+        assert p.tuple_bytes == 208
+        assert p.tuples_per_packet == 36
+        assert p.tuples_per_page == 36
+        assert p.num_processors == 32
+
+
+class TestDerivedHelpers:
+    def test_instructions_to_seconds(self):
+        p = GAMMA_PARAMETERS
+        assert p.instructions_to_seconds(3_000_000) == pytest.approx(1.0)
+        assert p.instructions_to_seconds(14_600) == pytest.approx(14_600 / 3e6)
+
+    def test_seek_square_root_model(self):
+        p = GAMMA_PARAMETERS
+        assert p.seek_seconds(0) == 0.0
+        assert p.seek_seconds(-5) == 0.0
+        assert p.seek_seconds(100) == pytest.approx(0.78e-3 * 10)
+
+    def test_page_transfer(self):
+        assert GAMMA_PARAMETERS.page_transfer_seconds() == pytest.approx(
+            8192 / 1_800_000)
+
+    def test_network_send_reproduces_table_points(self):
+        p = GAMMA_PARAMETERS
+        assert p.network_send_seconds(100) == pytest.approx(0.0006)
+        assert p.network_send_seconds(8192) == pytest.approx(0.0056)
+
+    def test_network_decomposition_consistent(self):
+        p = GAMMA_PARAMETERS
+        for size in (100, 500, 2080, 8192):
+            assert p.network_send_seconds(size) == pytest.approx(
+                p.network_latency_seconds()
+                + p.network_occupancy_seconds(size))
+
+    def test_network_monotone_in_size(self):
+        p = GAMMA_PARAMETERS
+        costs = [p.network_send_seconds(n) for n in (1, 100, 1000, 8192)]
+        assert costs == sorted(costs)
+
+    def test_network_invalid_size(self):
+        with pytest.raises(ValueError):
+            GAMMA_PARAMETERS.network_send_seconds(0)
+
+    def test_packets_for_tuples(self):
+        p = GAMMA_PARAMETERS
+        assert p.packets_for_tuples(0) == 0
+        assert p.packets_for_tuples(1) == 1
+        assert p.packets_for_tuples(36) == 1
+        assert p.packets_for_tuples(37) == 2
+        assert p.packets_for_tuples(300) == 9
+
+    def test_with_overrides(self):
+        p = GAMMA_PARAMETERS.with_overrides(num_processors=8)
+        assert p.num_processors == 8
+        assert GAMMA_PARAMETERS.num_processors == 32  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            GAMMA_PARAMETERS.num_processors = 64

@@ -1,0 +1,81 @@
+"""Tests for the sequential-scan fallback (unindexed attributes)."""
+
+import pytest
+
+from repro.core import RangePredicate, RangeStrategy
+from repro.gamma import GammaMachine, GAMMA_PARAMETERS
+from repro.storage import make_wisconsin, sequential_scan_plan
+
+INDEXES = {"unique1": False, "unique2": True}
+
+
+class TestScanPlan:
+    def test_reads_every_page(self):
+        plan = sequential_scan_plan(3600, tuples_per_page=36,
+                                    num_matches=10)
+        assert plan.data_sequential_reads == 100
+        assert plan.random_reads == 0
+        assert plan.tuples_examined == 3600
+        assert plan.tuples_returned == 10
+
+    def test_empty_relation(self):
+        plan = sequential_scan_plan(0)
+        assert plan.total_reads == 0
+        assert plan.tuples_returned == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sequential_scan_plan(-1)
+        with pytest.raises(ValueError):
+            sequential_scan_plan(10, num_matches=11)
+
+    def test_index_plans_return_equals_examined(self):
+        from repro.storage import BTreeIndex
+        plan = BTreeIndex(1000, clustered=True).range_lookup(50)
+        assert plan.tuples_returned == plan.tuples_examined == 50
+
+
+class TestScanExecution:
+    @pytest.fixture(scope="class")
+    def machine(self):
+        relation = make_wisconsin(10_000, correlation="low", seed=80)
+        placement = RangeStrategy("unique1").partition(relation, 4)
+        return GammaMachine(placement, indexes=INDEXES, seed=1)
+
+    def test_unindexed_query_returns_exact_results(self, machine):
+        handle = machine.scheduler.submit(
+            "R", "scan", RangePredicate("ten", 3, 3))
+        machine.env.run(until=handle.completion)
+        assert handle.tuples_returned == 1000  # unique1 % 10 == 3
+
+    def test_scan_broadcasts(self, machine):
+        handle = machine.scheduler.submit(
+            "R", "scan", RangePredicate.equals("two", 0))
+        machine.env.run(until=handle.completion)
+        assert handle.sites_used == 4
+        assert handle.tuples_returned == 5000
+
+    def test_scan_much_slower_than_index(self, machine):
+        start = machine.env.now
+        handle = machine.scheduler.submit(
+            "R", "scan", RangePredicate("one_percent", 5, 5))
+        machine.env.run(until=handle.completion)
+        scan_time = machine.env.now - start
+
+        start = machine.env.now
+        handle = machine.scheduler.submit(
+            "R", "idx", RangePredicate("unique2", 0, 99))
+        machine.env.run(until=handle.completion)
+        index_time = machine.env.now - start
+        assert scan_time > 5 * index_time
+
+    def test_scan_under_buffer_pool(self):
+        relation = make_wisconsin(10_000, correlation="low", seed=80)
+        placement = RangeStrategy("unique1").partition(relation, 4)
+        params = GAMMA_PARAMETERS.with_overrides(buffer_pool_pages=128)
+        machine = GammaMachine(placement, indexes=INDEXES, params=params,
+                               seed=1)
+        handle = machine.scheduler.submit(
+            "R", "scan", RangePredicate("ten", 7, 7))
+        machine.env.run(until=handle.completion)
+        assert handle.tuples_returned == 1000

@@ -1,0 +1,117 @@
+"""Tests of scheduler coordination and operator execution details."""
+
+import pytest
+
+from repro.core import BerdStrategy, RangePredicate, RangeStrategy
+from repro.gamma import GammaMachine
+from repro.storage import make_wisconsin
+
+P = 8
+INDEXES = {"unique1": False, "unique2": True}
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return make_wisconsin(cardinality=20_000, correlation="low", seed=22)
+
+
+def run_one_query(machine, predicate, query_type="Q"):
+    handle = machine.scheduler.submit("R", query_type, predicate)
+    machine.env.run(until=handle.completion)
+    return handle
+
+
+class TestSingleQueryExecution:
+    def test_single_site_query(self, relation):
+        placement = RangeStrategy("unique1").partition(relation, P)
+        machine = GammaMachine(placement, indexes=INDEXES, seed=5)
+        handle = run_one_query(
+            machine, RangePredicate.equals("unique1", 1234))
+        assert handle.tuples_returned == 1
+        assert handle.sites_used == 1
+
+    def test_broadcast_query(self, relation):
+        placement = RangeStrategy("unique1").partition(relation, P)
+        machine = GammaMachine(placement, indexes=INDEXES, seed=5)
+        handle = run_one_query(
+            machine, RangePredicate("unique2", 100, 199))
+        assert handle.tuples_returned == 100
+        assert handle.sites_used == P
+
+    def test_operator_counts_selects(self, relation):
+        placement = RangeStrategy("unique1").partition(relation, P)
+        machine = GammaMachine(placement, indexes=INDEXES, seed=5)
+        run_one_query(machine, RangePredicate("unique2", 0, 9))
+        executed = sum(n.operator_manager.selects_executed
+                       for n in machine.nodes)
+        assert executed == P  # broadcast: every site ran the select
+
+    def test_berd_probe_then_select(self, relation):
+        placement = BerdStrategy("unique1", ["unique2"]).partition(relation, P)
+        machine = GammaMachine(placement, indexes=INDEXES, seed=5)
+        handle = run_one_query(machine, RangePredicate("unique2", 500, 509))
+        assert handle.tuples_returned == 10
+        probes = sum(n.operator_manager.probes_executed
+                     for n in machine.nodes)
+        assert probes == 1
+
+    def test_berd_empty_result_completes_after_probe(self, relation):
+        placement = BerdStrategy("unique1", ["unique2"]).partition(relation, P)
+        machine = GammaMachine(placement, indexes=INDEXES, seed=5)
+        handle = run_one_query(
+            machine, RangePredicate("unique2", 1_000_000, 1_000_100))
+        assert handle.tuples_returned == 0
+        assert machine.scheduler.in_flight == 0
+
+    def test_primary_attribute_skips_probe(self, relation):
+        placement = BerdStrategy("unique1", ["unique2"]).partition(relation, P)
+        machine = GammaMachine(placement, indexes=INDEXES, seed=5)
+        run_one_query(machine, RangePredicate("unique1", 0, 99))
+        probes = sum(n.operator_manager.probes_executed
+                     for n in machine.nodes)
+        assert probes == 0
+
+    def test_queries_tracked_and_released(self, relation):
+        placement = RangeStrategy("unique1").partition(relation, P)
+        machine = GammaMachine(placement, indexes=INDEXES, seed=5)
+        for value in (10, 20, 30):
+            run_one_query(machine, RangePredicate.equals("unique1", value))
+        assert machine.scheduler.in_flight == 0
+
+    def test_result_accuracy_many_predicates(self, relation):
+        """Tuples returned always equals the true qualifying count."""
+        placement = RangeStrategy("unique1").partition(relation, P)
+        machine = GammaMachine(placement, indexes=INDEXES, seed=5)
+        for lo, width in [(0, 50), (19_000, 500), (5_000, 1)]:
+            pred = RangePredicate("unique1", lo, lo + width - 1)
+            handle = run_one_query(machine, pred)
+            assert handle.tuples_returned == width
+
+
+class TestConcurrentQueries:
+    def test_parallel_queries_all_complete(self, relation):
+        placement = RangeStrategy("unique1").partition(relation, P)
+        machine = GammaMachine(placement, indexes=INDEXES, seed=5)
+        handles = [
+            machine.scheduler.submit(
+                "R", "Q", RangePredicate.equals("unique1", v))
+            for v in range(0, 1000, 100)
+        ]
+        for handle in handles:
+            machine.env.run(until=handle.completion)
+        assert all(h.tuples_returned == 1 for h in handles)
+        assert machine.scheduler.in_flight == 0
+
+    def test_interleaved_probe_and_select(self, relation):
+        placement = BerdStrategy("unique1", ["unique2"]).partition(relation, P)
+        machine = GammaMachine(placement, indexes=INDEXES, seed=5)
+        handles = []
+        for v in range(0, 2000, 200):
+            handles.append(machine.scheduler.submit(
+                "R", "QB", RangePredicate("unique2", v, v + 9)))
+            handles.append(machine.scheduler.submit(
+                "R", "QA", RangePredicate.equals("unique1", v)))
+        for handle in handles:
+            machine.env.run(until=handle.completion)
+        total = sum(h.tuples_returned for h in handles)
+        assert total == 10 * 10 + 10 * 1

@@ -1,0 +1,98 @@
+"""Unit tests for disk geometry, extents and the layout allocator."""
+
+import pytest
+
+from repro.storage import DiskGeometry, DiskLayout, Extent, pages_for_tuples
+
+
+class TestDiskGeometry:
+    def test_total_pages(self):
+        geo = DiskGeometry(cylinders=10, pages_per_cylinder=5)
+        assert geo.total_pages == 50
+
+    def test_cylinder_of(self):
+        geo = DiskGeometry(cylinders=10, pages_per_cylinder=5)
+        assert geo.cylinder_of(0) == 0
+        assert geo.cylinder_of(4) == 0
+        assert geo.cylinder_of(5) == 1
+        assert geo.cylinder_of(49) == 9
+
+    def test_cylinder_of_out_of_range(self):
+        geo = DiskGeometry(cylinders=10, pages_per_cylinder=5)
+        with pytest.raises(ValueError):
+            geo.cylinder_of(50)
+        with pytest.raises(ValueError):
+            geo.cylinder_of(-1)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(cylinders=0)
+
+
+class TestExtent:
+    def test_physical_page_mapping(self):
+        ext = Extent(start_page=100, num_pages=10)
+        assert ext.physical_page(0) == 100
+        assert ext.physical_page(9) == 109
+        assert ext.end_page == 110
+
+    def test_logical_out_of_range(self):
+        ext = Extent(0, 3)
+        with pytest.raises(IndexError):
+            ext.physical_page(3)
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError):
+            Extent(-1, 5)
+
+
+class TestDiskLayout:
+    def test_sequential_allocation(self):
+        layout = DiskLayout(DiskGeometry(cylinders=10, pages_per_cylinder=10))
+        e1 = layout.allocate(30)
+        e2 = layout.allocate(20)
+        assert e1.start_page == 0
+        assert e2.start_page == 30
+        assert layout.allocated_pages == 50
+        assert layout.free_pages == 50
+
+    def test_overflow_rejected(self):
+        layout = DiskLayout(DiskGeometry(cylinders=1, pages_per_cylinder=10))
+        layout.allocate(8)
+        with pytest.raises(RuntimeError):
+            layout.allocate(3)
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            DiskLayout().allocate(-1)
+
+    def test_cylinder_of_logical(self):
+        layout = DiskLayout(DiskGeometry(cylinders=10, pages_per_cylinder=10))
+        layout.allocate(15)               # pages 0..14
+        ext = layout.allocate(20)         # pages 15..34
+        assert layout.cylinder_of_logical(ext, 0) == 1   # page 15
+        assert layout.cylinder_of_logical(ext, 10) == 2  # page 25
+
+    def test_extents_snapshot(self):
+        layout = DiskLayout()
+        layout.allocate(5)
+        layout.allocate(7)
+        assert [e.num_pages for e in layout.extents] == [5, 7]
+
+
+class TestPagesForTuples:
+    def test_exact_fit(self):
+        assert pages_for_tuples(72, 36) == 2
+
+    def test_round_up(self):
+        assert pages_for_tuples(73, 36) == 3
+        assert pages_for_tuples(1, 36) == 1
+
+    def test_zero_tuples(self):
+        assert pages_for_tuples(0, 36) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            pages_for_tuples(-1, 36)
+        with pytest.raises(ValueError):
+            pages_for_tuples(10, 0)

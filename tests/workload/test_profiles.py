@@ -1,0 +1,91 @@
+"""Unit tests for the analytic resource profiles and derived cost model."""
+
+import pytest
+
+from repro.gamma import GAMMA_PARAMETERS
+from repro.workload import (
+    cost_model_for_mix,
+    cost_of_participation,
+    directory_search_cost,
+    estimate_profile,
+    make_mix,
+    qa_low,
+    qa_moderate,
+    qb_low,
+    qb_moderate,
+)
+
+CARD = 100_000
+
+
+class TestEstimates:
+    def test_moderate_costs_more_than_low(self):
+        low = estimate_profile(qa_low(), GAMMA_PARAMETERS, CARD, 0.5)
+        mod = estimate_profile(qa_moderate(), GAMMA_PARAMETERS, CARD, 0.5)
+        assert mod.total_seconds > 5 * low.total_seconds
+
+    def test_nonclustered_disk_dominated(self):
+        mod = estimate_profile(qa_moderate(), GAMMA_PARAMETERS, CARD, 0.5)
+        # ~26 random reads at ~15 ms each.
+        assert 0.25 < mod.disk_seconds < 0.6
+
+    def test_clustered_streams_cheaply(self):
+        mod = estimate_profile(qb_moderate(), GAMMA_PARAMETERS, CARD, 0.5)
+        # descent + ~9 sequential pages.
+        assert mod.disk_seconds < 0.1
+
+    def test_paper_pair_equality_claim(self):
+        """§6: each low/moderate pair has comparable execution times.
+
+        With our calibration the pairs agree within a factor of ~3 --
+        recorded as a known deviation in EXPERIMENTS.md.
+        """
+        la = estimate_profile(qa_low(), GAMMA_PARAMETERS, CARD, 0.5)
+        lb = estimate_profile(qb_low(), GAMMA_PARAMETERS, CARD, 0.5)
+        assert 0.25 < la.total_seconds / lb.total_seconds < 4.0
+
+    def test_network_scales_with_tuples(self):
+        lo = estimate_profile(qb_low(), GAMMA_PARAMETERS, CARD, 0.5)
+        hi = estimate_profile(qb_moderate(), GAMMA_PARAMETERS, CARD, 0.5)
+        assert hi.net_seconds > lo.net_seconds
+
+    def test_frequency_passthrough(self):
+        p = estimate_profile(qa_low(), GAMMA_PARAMETERS, CARD, 0.25)
+        assert p.frequency == 0.25
+        assert p.attribute == "unique1"
+
+
+class TestCalibrationConstants:
+    def test_cp_is_a_few_milliseconds(self):
+        cp = cost_of_participation(GAMMA_PARAMETERS)
+        assert 0.002 < cp < 0.02
+
+    def test_cs_is_microseconds(self):
+        cs = directory_search_cost(GAMMA_PARAMETERS)
+        assert 0 < cs < 1e-4
+
+
+class TestDerivedCostModel:
+    def test_moderate_mi_near_nine(self):
+        """§7.2/§7.3: the moderate queries' ideal M_i is ~9 processors."""
+        model = cost_model_for_mix(
+            make_mix("moderate-moderate"), GAMMA_PARAMETERS, CARD)
+        assert 5 <= model.ideal_mi("unique1") <= 14
+
+    def test_low_mi_small(self):
+        model = cost_model_for_mix(
+            make_mix("low-low"), GAMMA_PARAMETERS, CARD)
+        assert model.ideal_mi("unique1") <= 4
+
+    def test_low_moderate_asymmetry(self):
+        """§7.2: M_B for the moderate QB far exceeds M_A for the low QA."""
+        model = cost_model_for_mix(
+            make_mix("low-moderate"), GAMMA_PARAMETERS, CARD)
+        assert model.ideal_mi("unique2") > 2.5 * model.ideal_mi("unique1")
+
+    def test_directory_shape_plausible(self):
+        model = cost_model_for_mix(
+            make_mix("low-low"), GAMMA_PARAMETERS, CARD)
+        shape = model.directory_shape()
+        total = shape["unique1"] * shape["unique2"]
+        assert 32 <= total <= 100_000

@@ -1,0 +1,148 @@
+"""Unit tests for the workload: query specs and mixes."""
+
+import random
+
+import pytest
+
+from repro.workload import (
+    MIX_NAMES,
+    QueryMix,
+    SelectionQuerySpec,
+    make_mix,
+    qa_low,
+    qa_moderate,
+    qb_low,
+    qb_moderate,
+)
+
+
+class TestQuerySpecs:
+    def test_paper_selectivities(self):
+        assert qa_low().tuples_retrieved == 1
+        assert qb_low().tuples_retrieved == 10
+        assert qa_moderate().tuples_retrieved == 30
+        assert qb_moderate().tuples_retrieved == 300
+
+    def test_selectivity_fractions(self):
+        assert qb_low().selectivity == pytest.approx(0.0001)
+        assert qa_moderate().selectivity == pytest.approx(0.0003)
+        assert qb_moderate().selectivity == pytest.approx(0.003)
+
+    def test_index_kinds(self):
+        assert not qa_low().clustered_index
+        assert not qa_moderate().clustered_index
+        assert qb_low().clustered_index
+        assert qb_moderate().clustered_index
+
+    def test_equality_predicate_for_single_tuple(self):
+        rng = random.Random(1)
+        pred = qa_low().make_predicate(rng)
+        assert pred.is_equality
+        assert pred.attribute == "unique1"
+
+    def test_range_predicate_width_exact(self):
+        rng = random.Random(1)
+        for spec in (qb_low(), qa_moderate(), qb_moderate()):
+            for _ in range(20):
+                pred = spec.make_predicate(rng)
+                assert pred.high - pred.low + 1 == spec.tuples_retrieved
+                assert 0 <= pred.low
+                assert pred.high < spec.domain
+
+    def test_scaled_domain(self):
+        spec = qb_moderate(domain=10_000)
+        assert spec.tuples_retrieved == 30  # 0.3% of 10k
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelectionQuerySpec("bad", "a", 0, False, 100)
+        with pytest.raises(ValueError):
+            SelectionQuerySpec("bad", "a", 200, False, 100)
+
+
+class TestHotSpotPlacement:
+    def test_uniform_by_default(self):
+        spec = qa_low()
+        assert not spec.is_skewed
+
+    def test_hot_queries_land_in_hot_region(self):
+        rng = random.Random(1)
+        spec = qb_low().with_skew(hot_fraction=0.2, hot_probability=1.0)
+        assert spec.is_skewed
+        for _ in range(100):
+            pred = spec.make_predicate(rng)
+            assert pred.low < 0.2 * spec.domain
+
+    def test_hot_probability_mixes_regions(self):
+        rng = random.Random(2)
+        spec = qb_low().with_skew(hot_fraction=0.2, hot_probability=0.8)
+        hot = sum(1 for _ in range(2000)
+                  if spec.make_predicate(rng).low < 0.2 * spec.domain)
+        # ~80% forced hot + ~20% of the uniform remainder also lands hot.
+        assert 0.75 < hot / 2000 < 0.92
+
+    def test_skew_preserves_width(self):
+        rng = random.Random(3)
+        spec = qb_moderate().with_skew(0.1, 0.9)
+        for _ in range(50):
+            pred = spec.make_predicate(rng)
+            assert pred.high - pred.low + 1 == spec.tuples_retrieved
+
+    def test_mix_level_skew(self):
+        mix = make_mix("low-low", hot_fraction=0.25, hot_probability=0.9)
+        assert all(s.is_skewed for s in mix.specs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            qa_low().with_skew(0.0, 0.5)
+        with pytest.raises(ValueError):
+            qa_low().with_skew(0.5, 1.5)
+
+
+class TestMixes:
+    def test_all_paper_mixes_buildable(self):
+        for name in MIX_NAMES:
+            mix = make_mix(name)
+            assert len(mix.specs) == 2
+            assert mix.frequencies == (0.5, 0.5)
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError):
+            make_mix("extreme-extreme")
+
+    def test_mix_composition(self):
+        mix = make_mix("low-moderate")
+        assert mix.spec_named("QA").tuples_retrieved == 1
+        assert mix.spec_named("QB").tuples_retrieved == 300
+
+    def test_fig9_variant(self):
+        mix = make_mix("low-low-20")
+        assert mix.spec_named("QB").tuples_retrieved == 20
+
+    def test_unknown_spec_name(self):
+        with pytest.raises(KeyError):
+            make_mix("low-low").spec_named("QZ")
+
+    def test_callable_source_protocol(self):
+        mix = make_mix("low-low")
+        rng = random.Random(7)
+        qtype, relation, pred = mix(rng)
+        assert qtype in ("QA", "QB")
+        assert relation == "R"
+        assert pred.attribute in ("unique1", "unique2")
+
+    def test_fifty_fifty_sampling(self):
+        mix = make_mix("low-low")
+        rng = random.Random(3)
+        names = [mix.sample_spec(rng).name for _ in range(2000)]
+        qa_share = names.count("QA") / len(names)
+        assert 0.45 < qa_share < 0.55
+
+    def test_validation(self):
+        spec = qa_low()
+        with pytest.raises(ValueError):
+            QueryMix("m", "R", (spec,), (0.5, 0.5))
+        with pytest.raises(ValueError):
+            QueryMix("m", "R", (), ())
+        with pytest.raises(ValueError):
+            QueryMix("m", "R", (spec,), (0.0,))
