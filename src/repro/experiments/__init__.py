@@ -32,9 +32,11 @@ from .report import (
     rebalance_worst_case,
 )
 from .sweeps import AXES, SweepAxis, SweepPoint, SweepResult, sweep
+from .explain import ExplainResult, explain_figure
 from .runner import (
     FigureResult,
     PAPER_INDEXES,
+    TelemetryFactory,
     build_strategy,
     check_expectation,
     run_experiment,
@@ -71,4 +73,7 @@ __all__ = [
     "series_table",
     "figure_section",
     "report_from_directory",
+    "ExplainResult",
+    "explain_figure",
+    "TelemetryFactory",
 ]

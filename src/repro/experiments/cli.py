@@ -6,6 +6,10 @@ Examples::
     repro-experiments --all --quick              # every figure, small runs
     repro-experiments --processors               # §7 processor counts
     repro-experiments --rebalance                # §4 worst-case heuristic
+    repro-experiments --explain 8a               # traced re-run: where did
+                                                 # each query type's time go?
+    repro-experiments --figure 8a --trace --metrics-out runs/8a
+                                                 # span/metric artifacts
 """
 
 from __future__ import annotations
@@ -32,6 +36,19 @@ QUICK_MPLS = (1, 16, 64)
 QUICK_MEASURED = 200
 
 
+def _mpl_list(text: str):
+    """Parse a comma-separated multiprogramming-level list."""
+    try:
+        values = tuple(int(v) for v in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}")
+    if not values or any(v < 1 for v in values):
+        raise argparse.ArgumentTypeError(
+            f"multiprogramming levels must be >= 1, got {text!r}")
+    return values
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -48,6 +65,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the per-figure average-processor table")
     parser.add_argument("--rebalance", action="store_true",
                         help="run the section-4 rebalancing worst case")
+    parser.add_argument("--trace", action="store_true",
+                        help="collect telemetry (spans, metrics, "
+                             "utilization timelines) during figure runs")
+    parser.add_argument("--metrics-out", metavar="DIR",
+                        help="write spans.jsonl / metrics.jsonl / "
+                             "metrics.prom / summary.txt per run into DIR "
+                             "(implies --trace)")
+    parser.add_argument("--explain", metavar="FIG", choices=sorted(FIGURES),
+                        help="re-run one MPL point of FIG with tracing on "
+                             "and print the per-query-type resource "
+                             "breakdown")
+    parser.add_argument("--explain-mpl", type=int, default=64,
+                        help="multiprogramming level for --explain "
+                             "(default: 64)")
+    parser.add_argument("--mpls", metavar="M1,M2,...", type=_mpl_list,
+                        help="override the multiprogramming levels swept")
     parser.add_argument("--sweep", metavar="AXIS",
                         help="run a parameter sweep (see --sweep-values); "
                              "axes: processors, qb_selectivity, "
@@ -73,16 +106,60 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _telemetry_sink(args):
+    """A (factory, telemetries) pair when --trace/--metrics-out is on."""
+    if not (args.trace or args.metrics_out):
+        return None, {}
+    from ..obs import Telemetry
+    telemetries = {}
+
+    def factory(strategy: str, mpl: int) -> Telemetry:
+        telemetry = Telemetry()
+        telemetries[(strategy, mpl)] = telemetry
+        return telemetry
+
+    return factory, telemetries
+
+
+def _export_run_artifacts(out_dir: str, figure: str, telemetries) -> List[str]:
+    """Write span/metric artifacts for every traced run; returns notes."""
+    import os
+
+    from ..obs import (render_prometheus, why_table, write_metrics_jsonl,
+                       write_spans_jsonl)
+    os.makedirs(out_dir, exist_ok=True)
+    notes = []
+    for (strategy, mpl), telemetry in sorted(telemetries.items()):
+        stem = os.path.join(out_dir, f"{figure}_{strategy}_mpl{mpl}")
+        spans = write_spans_jsonl(telemetry.spans, f"{stem}.spans.jsonl")
+        write_metrics_jsonl(telemetry.registry, f"{stem}.metrics.jsonl")
+        with open(f"{stem}.metrics.prom", "w") as handle:
+            handle.write(render_prometheus(telemetry.registry))
+        with open(f"{stem}.summary.txt", "w") as handle:
+            handle.write(why_table(telemetry.spans))
+        notes.append(f"(wrote {stem}.{{spans.jsonl,metrics.jsonl,"
+                     f"metrics.prom,summary.txt}}; {spans} spans)")
+    return notes
+
+
 def _run_figures(names: List[str], args) -> List[str]:
     blocks = []
-    mpls = QUICK_MPLS if args.quick else None
+    if args.mpls:
+        mpls = args.mpls
+    else:
+        mpls = QUICK_MPLS if args.quick else None
     measured = QUICK_MEASURED if args.quick else args.measured
     for name in names:
         config = FIGURES[name]
+        factory, telemetries = _telemetry_sink(args)
         result = run_experiment(
             config, cardinality=args.cardinality, num_sites=args.num_sites,
-            measured_queries=measured, mpls=mpls, seed=args.seed)
+            measured_queries=measured, mpls=mpls, seed=args.seed,
+            telemetry_factory=factory)
         blocks.append(format_figure(result))
+        if args.metrics_out:
+            blocks += _export_run_artifacts(args.metrics_out, name,
+                                            telemetries)
         if args.plot:
             blocks.append("")
             blocks.append(plot_figure(result))
@@ -144,6 +221,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             for s in strategies:
                 row += f"{series[s].get(value, float('nan')):12.1f}"
             out.append(row)
+        did_something = True
+    if args.explain:
+        from .explain import explain_figure
+        explained = explain_figure(
+            args.explain, mpl=args.explain_mpl,
+            cardinality=args.cardinality, num_sites=args.num_sites,
+            measured_queries=(QUICK_MEASURED if args.quick
+                              else min(args.measured, 200)),
+            seed=args.seed)
+        out.append(explained.render())
         did_something = True
     if args.report:
         from .markdown import report_from_directory

@@ -35,6 +35,7 @@ def figure_to_dict(result: FigureResult) -> Dict:
     return {
         "format_version": FORMAT_VERSION,
         "figure": result.config.figure,
+        "seed": result.seed,
         "cardinality": result.cardinality,
         "num_sites": result.num_sites,
         "measured_queries": result.measured_queries,
@@ -66,7 +67,10 @@ def figure_from_dict(payload: Dict) -> FigureResult:
         cardinality=payload["cardinality"],
         num_sites=payload["num_sites"],
         measured_queries=payload["measured_queries"],
-        wall_seconds=payload.get("wall_seconds", 0.0))
+        wall_seconds=payload.get("wall_seconds", 0.0),
+        # Files written before the seed echo existed load as seed 13,
+        # the harness-wide default they were in fact produced with.
+        seed=payload.get("seed", 13))
     for name, runs in payload["series"].items():
         result.series[name] = [RunResult(**run) for run in runs]
     return result

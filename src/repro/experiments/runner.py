@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core import (
     BerdStrategy,
@@ -22,15 +22,20 @@ from ..core import (
     RangeStrategy,
 )
 from ..gamma import GAMMA_PARAMETERS, GammaMachine, RunResult, SimulationParameters
+from ..obs import Telemetry
 from ..storage import make_wisconsin
 from ..workload import cost_model_for_mix, make_mix
 from .config import ATTR_A, ATTR_B, ExperimentConfig
 
-__all__ = ["FigureResult", "build_strategy", "run_experiment",
-           "check_expectation"]
+__all__ = ["FigureResult", "TelemetryFactory", "build_strategy",
+           "run_experiment", "check_expectation"]
 
 #: Indexes of §6: non-clustered on A, clustered on B.
 PAPER_INDEXES = {ATTR_A: False, ATTR_B: True}
+
+#: Called once per (strategy, MPL) run; returns the run's Telemetry
+#: (or None to run without instrumentation).
+TelemetryFactory = Callable[[str, int], Optional[Telemetry]]
 
 
 @dataclass
@@ -43,6 +48,9 @@ class FigureResult:
     measured_queries: int
     series: Dict[str, List[RunResult]] = field(default_factory=dict)
     wall_seconds: float = 0.0
+    #: Root seed the runs were generated with; echoed into every saved
+    #: results file so a figure is reproducible from the artifact alone.
+    seed: int = 13
 
     def throughput_at(self, strategy: str, mpl: int) -> float:
         for result in self.series[strategy]:
@@ -91,8 +99,14 @@ def run_experiment(config: ExperimentConfig,
                    seed: int = 13,
                    params: SimulationParameters = GAMMA_PARAMETERS,
                    strategies: Optional[Sequence[str]] = None,
+                   telemetry_factory: Optional[TelemetryFactory] = None,
                    ) -> FigureResult:
-    """Regenerate one figure; returns every (strategy, MPL) run result."""
+    """Regenerate one figure; returns every (strategy, MPL) run result.
+
+    ``telemetry_factory(strategy, mpl)``, when given, supplies a fresh
+    :class:`~repro.obs.Telemetry` per machine run (each simulation gets
+    its own environment, so telemetry objects cannot be shared).
+    """
     started = time.time()
     mpls = tuple(mpls if mpls is not None else config.mpls)
     strategies = tuple(strategies if strategies is not None
@@ -103,14 +117,17 @@ def run_experiment(config: ExperimentConfig,
 
     result = FigureResult(config=config, cardinality=cardinality,
                           num_sites=num_sites,
-                          measured_queries=measured_queries)
+                          measured_queries=measured_queries, seed=seed)
     for name in strategies:
         strategy = build_strategy(name, config, cardinality, params)
         placement = strategy.partition(relation, num_sites)
         runs: List[RunResult] = []
         for mpl in mpls:
+            telemetry = (telemetry_factory(name, mpl)
+                         if telemetry_factory else None)
             machine = GammaMachine(placement, indexes=PAPER_INDEXES,
-                                   params=params, seed=seed)
+                                   params=params, seed=seed,
+                                   telemetry=telemetry)
             runs.append(machine.run(mix, multiprogramming_level=mpl,
                                     measured_queries=measured_queries))
         result.series[name] = runs

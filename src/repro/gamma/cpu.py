@@ -24,31 +24,49 @@ NORMAL_PRIORITY = 1
 
 
 class Cpu:
-    """One processor's CPU: a 3-MIPS single server with DMA priority."""
+    """One processor's CPU: a 3-MIPS single server with DMA priority.
+
+    ``obs_label`` is the resource name under which traced queries book
+    their queue-wait / service time here (``node.cpu`` for operator
+    nodes, ``sched.cpu`` for the scheduler node).
+    """
 
     def __init__(self, env: Environment, params: SimulationParameters,
-                 name: str = "cpu"):
+                 name: str = "cpu", obs_label: str = "node.cpu"):
         self.env = env
         self.params = params
         self.name = name
+        self.obs_label = obs_label
         self._server = PriorityResource(env, capacity=1)
         self.monitor = UtilizationMonitor.attach(self._server, name)
         self.busy_seconds = 0.0
 
-    def execute(self, instructions: float, priority: int = NORMAL_PRIORITY):
+    def execute(self, instructions: float, priority: int = NORMAL_PRIORITY,
+                span=None):
         """Process generator: run *instructions* on this CPU.
 
-        Usage: ``yield from cpu.execute(14_600)``.
+        Usage: ``yield from cpu.execute(14_600)``.  When *span* (an open
+        :class:`repro.obs.spans.Span`) is given, the burst is recorded
+        on its query's trace as a leaf with the wait/service split.
         """
         if instructions < 0:
             raise ValueError(f"negative instruction count {instructions}")
         if instructions == 0:
             return
         service = self.params.instructions_to_seconds(instructions)
+        if span is None:
+            with self._server.request(priority=priority) as req:
+                yield req
+                yield self.env.timeout(service)
+                self.busy_seconds += service
+            return
+        queued_at = self.env.now
         with self._server.request(priority=priority) as req:
             yield req
+            wait = self.env.now - queued_at
             yield self.env.timeout(service)
             self.busy_seconds += service
+        span.trace.resource(span, self.obs_label, wait, service)
 
     def execute_dma(self, instructions: float):
         """Run a disk-FIFO byte transfer (high-priority CPU burst)."""

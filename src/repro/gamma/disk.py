@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..des import Environment, Event, TallyMonitor
+from ..obs.registry import NULL_REGISTRY
 from .cpu import Cpu
 from .params import SimulationParameters
 
@@ -44,17 +45,25 @@ class DiskRequest:
     is_write: bool
     done: Event
     enqueued_at: float
+    #: Open trace span of the owning query, if it is being traced.
+    span: Optional[object] = None
 
 
 class Disk:
     """One disk drive with an elevator-scheduled request queue."""
 
     def __init__(self, env: Environment, params: SimulationParameters,
-                 cpu: Cpu, seed: int = 0, name: str = "disk"):
+                 cpu: Cpu, seed: int = 0, name: str = "disk",
+                 registry=NULL_REGISTRY, metric_prefix: str = "disk"):
         self.env = env
         self.params = params
         self.cpu = cpu
         self.name = name
+        self.obs_label = "node.disk"
+        self._reads = registry.counter(f"{metric_prefix}.reads")
+        self._writes = registry.counter(f"{metric_prefix}.writes")
+        self._pages = registry.counter(f"{metric_prefix}.pages")
+        self._wait_hist = registry.histogram(f"{metric_prefix}.wait_seconds")
         self._rng = random.Random(seed)
         self._pending: List[DiskRequest] = []
         self._arrival: Optional[Event] = None
@@ -68,7 +77,8 @@ class Disk:
     # -- public API ------------------------------------------------------
 
     def submit(self, cylinder: int, num_pages: int,
-               sequential: bool = False, is_write: bool = False) -> Event:
+               sequential: bool = False, is_write: bool = False,
+               span=None) -> Event:
         """Queue an operation; the returned event fires on completion."""
         if num_pages <= 0:
             raise ValueError(f"request for {num_pages} pages")
@@ -78,20 +88,25 @@ class Disk:
         request = DiskRequest(cylinder=cylinder, num_pages=num_pages,
                               sequential=sequential, is_write=is_write,
                               done=Event(self.env),
-                              enqueued_at=self.env.now)
+                              enqueued_at=self.env.now, span=span)
+        (self._writes if is_write else self._reads).inc()
+        self._pages.inc(num_pages)
         self._pending.append(request)
         if self._arrival is not None and not self._arrival.triggered:
             self._arrival.succeed()
         return request.done
 
-    def read(self, cylinder: int, num_pages: int, sequential: bool = False):
+    def read(self, cylinder: int, num_pages: int, sequential: bool = False,
+             span=None):
         """Process generator: read and wait for completion."""
-        yield self.submit(cylinder, num_pages, sequential=sequential)
+        yield self.submit(cylinder, num_pages, sequential=sequential,
+                          span=span)
 
-    def write(self, cylinder: int, num_pages: int, sequential: bool = False):
+    def write(self, cylinder: int, num_pages: int, sequential: bool = False,
+              span=None):
         """Process generator: write and wait for completion."""
         yield self.submit(cylinder, num_pages, sequential=sequential,
-                          is_write=True)
+                          is_write=True, span=span)
 
     @property
     def queue_length(self) -> int:
@@ -128,7 +143,9 @@ class Disk:
 
     def _service(self, request: DiskRequest):
         start = self.env.now
-        self.wait_times.record(start - request.enqueued_at)
+        queue_wait = start - request.enqueued_at
+        self.wait_times.record(queue_wait)
+        self._wait_hist.observe(queue_wait)
 
         distance = abs(request.cylinder - self._current_cylinder)
         repositioning = not (request.sequential and distance == 0)
@@ -155,4 +172,8 @@ class Disk:
         self._current_cylinder = min(self._current_cylinder + span, limit)
 
         self.requests_served += 1
+        if request.span is not None:
+            request.span.trace.resource(
+                request.span, self.obs_label, queue_wait,
+                self.env.now - start, pages=request.num_pages)
         request.done.succeed(self.env.now - start)

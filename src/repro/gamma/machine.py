@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 
 from ..core.strategy import Placement
 from ..des import Environment
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..storage.pages import DiskLayout
 from .catalog import SystemCatalog
 from .cpu import Cpu
@@ -49,32 +50,43 @@ class GammaMachine:
         Simulation parameters (defaults to Table 2).
     seed:
         Root seed for disk latencies and physical placement randomness.
+    telemetry:
+        An unbound :class:`~repro.obs.telemetry.Telemetry` to collect
+        metrics, spans and utilization timelines for this run; ``None``
+        (the default) installs the shared no-op telemetry, whose only
+        hot-loop cost is one attribute check per instrumented call.
     """
 
     def __init__(self, placement: Placement, indexes: Dict[str, bool],
                  params: SimulationParameters = GAMMA_PARAMETERS,
-                 seed: int = 0):
+                 seed: int = 0, telemetry: Optional[Telemetry] = None):
         if placement.num_sites != params.num_processors:
             params = params.with_overrides(
                 num_processors=placement.num_sites)
         self.params = params
         self.placement = placement
         self.env = Environment()
-        self.network = Network(self.env, params)
+        self.telemetry = (telemetry if telemetry is not None
+                          else NULL_TELEMETRY).bind(self.env)
+        self.network = Network(self.env, params,
+                               registry=self.telemetry.registry)
         self.catalog = SystemCatalog(params)
 
         self.nodes: List[OperatorNode] = [
             OperatorNode(self.env, node_id, params, self.network,
-                         self.catalog, seed=seed * 1000 + node_id)
+                         self.catalog, seed=seed * 1000 + node_id,
+                         telemetry=self.telemetry)
             for node_id in range(placement.num_sites)
         ]
         self.scheduler_node_id = placement.num_sites
-        self.scheduler_cpu = Cpu(self.env, params, name="sched-cpu")
+        self.scheduler_cpu = Cpu(self.env, params, name="sched-cpu",
+                                 obs_label="sched.cpu")
         scheduler_endpoint = self.network.attach(self.scheduler_node_id,
-                                                 self.scheduler_cpu)
+                                                 self.scheduler_cpu,
+                                                 obs_label="sched.nic")
         self.scheduler = QueryScheduler(
             self.env, params, self.scheduler_node_id, scheduler_endpoint,
-            self.network, self.catalog)
+            self.network, self.catalog, telemetry=self.telemetry)
 
         self._layouts = [DiskLayout(params.disk_geometry)
                          for _ in self.nodes]
@@ -82,6 +94,8 @@ class GammaMachine:
 
         self.metrics = RunMetrics(self.env)
         self._seed = seed
+        if self.telemetry.sampler is not None:
+            self._register_probes(self.telemetry.sampler)
 
     def add_relation(self, placement: Placement,
                      indexes: Dict[str, bool]) -> None:
@@ -120,8 +134,16 @@ class GammaMachine:
         self.env.run(until=self.metrics.on_completion_count(warmup_queries))
         self._reset_all_stats()
         self.metrics.reset_window()
+        if self.telemetry.enabled:
+            # Warm-up telemetry is transient-state noise: drop it and
+            # start the utilization sampler at the window boundary.
+            self.telemetry.begin_window()
         self.env.run(until=self.metrics.on_completion_count(
             warmup_queries + measured_queries))
+        if self.telemetry.enabled:
+            # Force-close spans of queries interrupted mid-flight so
+            # the exported trace trees replay cleanly.
+            self.telemetry.end_window()
 
         return self._summarize(multiprogramming_level)
 
@@ -131,12 +153,65 @@ class GammaMachine:
         self.scheduler_cpu.reset_stats()
         self.network.reset_stats()
 
+    # -- resource usage (shared by summary and utilization timelines) -----
+
+    def resource_usage(self) -> Dict[str, float]:
+        """Cumulative busy-seconds (and counts) per machine resource.
+
+        One source of truth for "where did time go": the end-of-run
+        summary totals it over the window, and the telemetry sampler
+        differences it on a clock to produce utilization timelines.
+        """
+        usage = {
+            "sched.cpu.busy_seconds": self.scheduler_cpu.busy_seconds,
+            "net.bytes": float(self.network.bytes_sent),
+        }
+        for node in self.nodes:
+            prefix = f"node.{node.node_id}"
+            usage[f"{prefix}.cpu.busy_seconds"] = node.cpu.busy_seconds
+            usage[f"{prefix}.disk.busy_seconds"] = node.disk.busy_seconds
+            if node.buffer_pool is not None:
+                usage[f"{prefix}.buffer.hits"] = float(node.buffer_pool.hits)
+                usage[f"{prefix}.buffer.misses"] = float(
+                    node.buffer_pool.misses)
+        return usage
+
+    def _register_probes(self, sampler) -> None:
+        """Wire per-resource utilization timelines onto the sampler."""
+        sampler.add_rate_probe(
+            "sched.cpu.utilization",
+            lambda: self.scheduler_cpu.busy_seconds)
+        sampler.add_rate_probe(
+            "net.link.bytes_per_second",
+            lambda: float(self.network.bytes_sent))
+        sampler.add_level_probe(
+            "sched.queries.in_flight", lambda: self.scheduler.in_flight)
+        for node in self.nodes:
+            prefix = f"node.{node.node_id}"
+            cpu, disk = node.cpu, node.disk
+            sampler.add_rate_probe(
+                f"{prefix}.cpu.utilization",
+                lambda cpu=cpu: cpu.busy_seconds)
+            sampler.add_rate_probe(
+                f"{prefix}.disk.utilization",
+                lambda disk=disk: disk.busy_seconds)
+            sampler.add_level_probe(
+                f"{prefix}.disk.queue", lambda disk=disk: disk.queue_length)
+            if node.buffer_pool is not None:
+                pool = node.buffer_pool
+                sampler.add_ratio_probe(
+                    f"{prefix}.buffer.hit_rate",
+                    lambda pool=pool: float(pool.hits),
+                    lambda pool=pool: float(pool.hits + pool.misses))
+
     def _summarize(self, multiprogramming_level: int) -> RunResult:
         now = self.env.now
         elapsed = now - self.metrics.window_start
+        usage = self.resource_usage()
         cpu_util = sum(n.cpu_utilization(now) for n in self.nodes) \
             / len(self.nodes)
-        disk_util = sum(n.disk.busy_seconds for n in self.nodes) \
+        disk_util = sum(usage[f"node.{n.node_id}.disk.busy_seconds"]
+                        for n in self.nodes) \
             / (len(self.nodes) * elapsed) if elapsed > 0 else 0.0
         return RunResult(
             multiprogramming_level=multiprogramming_level,

@@ -8,6 +8,7 @@ utilizations, which §7 uses to explain each result.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -49,15 +50,16 @@ class RunMetrics:
 
         Splits the measurement window into equal-duration batches,
         treats per-batch throughputs as (approximately) independent
-        samples, and returns ``t * s / sqrt(n)``.  Returns 0.0 when the
-        window is too short to form batches.
+        samples, and returns ``t * s / sqrt(n)``.  Returns ``math.nan``
+        when the window is too short to form batches -- a 0.0 here would
+        be indistinguishable from a perfectly tight interval.
         """
         if batches < 2:
             raise ValueError("need at least 2 batches")
         times = [t for t in self._completion_times if t >= self.window_start]
         span = self.env.now - self.window_start
         if span <= 0 or len(times) < batches:
-            return 0.0
+            return math.nan
         width = span / batches
         counts = [0] * batches
         for t in times:

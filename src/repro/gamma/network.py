@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Dict
 
 from ..des import Environment, Resource, Store, UtilizationMonitor
+from ..obs.registry import NULL_REGISTRY
 from .cpu import Cpu
 from .params import SimulationParameters
 
@@ -38,26 +39,32 @@ class NetworkEndpoint:
     cpu: Cpu
     nic: Resource
     mailbox: Store
+    #: Resource name traced queries book NIC wait/occupancy under.
+    obs_label: str = "node.nic"
 
 
 class Network:
     """Fully connected interconnect between endpoints."""
 
-    def __init__(self, env: Environment, params: SimulationParameters):
+    def __init__(self, env: Environment, params: SimulationParameters,
+                 registry=NULL_REGISTRY):
         self.env = env
         self.params = params
         self._endpoints: Dict[int, NetworkEndpoint] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        self._msg_counter = registry.counter("net.messages")
+        self._byte_counter = registry.counter("net.bytes")
 
-    def attach(self, node_id: int, cpu: Cpu) -> NetworkEndpoint:
+    def attach(self, node_id: int, cpu: Cpu,
+               obs_label: str = "node.nic") -> NetworkEndpoint:
         """Register a node and return its endpoint."""
         if node_id in self._endpoints:
             raise ValueError(f"node {node_id} already attached")
         endpoint = NetworkEndpoint(
             node_id=node_id, cpu=cpu,
             nic=Resource(self.env, capacity=1),
-            mailbox=Store(self.env))
+            mailbox=Store(self.env), obs_label=obs_label)
         UtilizationMonitor.attach(endpoint.nic, f"nic{node_id}")
         self._endpoints[node_id] = endpoint
         return endpoint
@@ -72,7 +79,18 @@ class Network:
         """Fire-and-forget: spawn the delivery process for one message."""
         self.env.process(self.deliver(src, dst, num_bytes, message))
 
-    def deliver_external(self, src: int, num_bytes: int):
+    def _occupy_nic(self, endpoint: NetworkEndpoint, occupancy: float,
+                    span):
+        """Process generator: hold one NIC, booking wait/occupancy on *span*."""
+        queued_at = self.env.now
+        with endpoint.nic.request() as req:
+            yield req
+            wait = self.env.now - queued_at
+            yield self.env.timeout(occupancy)
+        if span is not None:
+            span.trace.resource(span, endpoint.obs_label, wait, occupancy)
+
+    def deliver_external(self, src: int, num_bytes: int, span=None):
         """Process generator: ship a message out of the simulated machine.
 
         Result tuples stream to the submitting host (Gamma's VAX front
@@ -83,35 +101,34 @@ class Network:
         sender = self.endpoint(src)
         self.messages_sent += 1
         self.bytes_sent += num_bytes
+        self._msg_counter.inc()
+        self._byte_counter.inc(num_bytes)
         yield from sender.cpu.execute(
-            self.params.message_handling_instructions)
-        with sender.nic.request() as req:
-            yield req
-            yield self.env.timeout(
-                self.params.network_occupancy_seconds(num_bytes))
+            self.params.message_handling_instructions, span=span)
+        yield from self._occupy_nic(
+            sender, self.params.network_occupancy_seconds(num_bytes), span)
         yield self.env.timeout(self.params.network_latency_seconds())
 
-    def deliver(self, src: int, dst: int, num_bytes: int, message: Any):
+    def deliver(self, src: int, dst: int, num_bytes: int, message: Any,
+                span=None):
         """Process generator: full delivery path of one message."""
         sender = self.endpoint(src)
         receiver = self.endpoint(dst)
         self.messages_sent += 1
         self.bytes_sent += num_bytes
+        self._msg_counter.inc()
+        self._byte_counter.inc(num_bytes)
 
         handling = self.params.message_handling_instructions
-        yield from sender.cpu.execute(handling)
+        yield from sender.cpu.execute(handling, span=span)
 
         if src != dst:
             occupancy = self.params.network_occupancy_seconds(num_bytes)
-            with sender.nic.request() as req:
-                yield req
-                yield self.env.timeout(occupancy)
+            yield from self._occupy_nic(sender, occupancy, span)
             # Fixed protocol latency: a pure delay, no resource held.
             yield self.env.timeout(self.params.network_latency_seconds())
-            with receiver.nic.request() as req:
-                yield req
-                yield self.env.timeout(occupancy)
-            yield from receiver.cpu.execute(handling)
+            yield from self._occupy_nic(receiver, occupancy, span)
+            yield from receiver.cpu.execute(handling, span=span)
 
         receiver.mailbox.put(message)
 

@@ -8,6 +8,7 @@ its CPU, disk, network endpoint and operator manager.
 from __future__ import annotations
 
 from ..des import Environment
+from ..obs.telemetry import NULL_TELEMETRY
 from .buffer import BufferPool
 from .catalog import SystemCatalog
 from .cpu import Cpu
@@ -24,18 +25,21 @@ class OperatorNode:
 
     def __init__(self, env: Environment, node_id: int,
                  params: SimulationParameters, network: Network,
-                 catalog: SystemCatalog, seed: int = 0):
+                 catalog: SystemCatalog, seed: int = 0,
+                 telemetry=NULL_TELEMETRY):
         self.node_id = node_id
         self.cpu = Cpu(env, params, name=f"cpu{node_id}")
         self.disk = Disk(env, params, self.cpu, seed=seed,
-                         name=f"disk{node_id}")
+                         name=f"disk{node_id}",
+                         registry=telemetry.registry,
+                         metric_prefix=f"node.{node_id}.disk")
         self.buffer_pool = (BufferPool(params.buffer_pool_pages)
                             if params.buffer_pool_pages else None)
         self.endpoint: NetworkEndpoint = network.attach(node_id, self.cpu)
         self.operator_manager = OperatorManager(
             env, node_id, params, self.cpu, self.disk, self.endpoint,
             network, catalog, seed=seed + 1,
-            buffer_pool=self.buffer_pool)
+            buffer_pool=self.buffer_pool, telemetry=telemetry)
 
     def reset_stats(self) -> None:
         self.cpu.reset_stats()

@@ -29,6 +29,7 @@ from __future__ import annotations
 import random
 
 from ..des import Environment
+from ..obs.telemetry import NULL_TELEMETRY
 from ..storage.btree import IndexAccessPlan
 from .catalog import SystemCatalog
 from .cpu import Cpu
@@ -55,7 +56,8 @@ class OperatorManager:
                  params: SimulationParameters, cpu: Cpu, disk: Disk,
                  endpoint: NetworkEndpoint, network: Network,
                  catalog: SystemCatalog, seed: int = 0,
-                 buffer_pool=None):
+                 buffer_pool=None, telemetry=NULL_TELEMETRY):
+        self.telemetry = telemetry
         self.env = env
         self.node_id = node_id
         self.params = params
@@ -93,7 +95,7 @@ class OperatorManager:
 
     def _perform_reads(self, relation: str, plan: IndexAccessPlan,
                        sequential_source: str = "base",
-                       attribute: str = ""):
+                       attribute: str = "", span=None):
         """Issue the plan's disk reads and buffer-manager CPU."""
         aux = sequential_source == "aux"
         for _ in range(plan.random_reads):
@@ -103,8 +105,10 @@ class OperatorManager:
             else:
                 cylinder = self.catalog.random_read_cylinder(
                     relation, self.node_id, self._rng)
-            yield from self.disk.read(cylinder, 1, sequential=False)
-            yield from self.cpu.execute(self.params.read_page_instructions)
+            yield from self.disk.read(cylinder, 1, sequential=False,
+                                      span=span)
+            yield from self.cpu.execute(self.params.read_page_instructions,
+                                        span=span)
         if plan.sequential_reads:
             if aux:
                 cylinder = self.catalog.aux_sequential_run_cylinder(
@@ -114,21 +118,26 @@ class OperatorManager:
                 cylinder = self.catalog.sequential_run_cylinder(
                     relation, self.node_id, plan.sequential_reads, self._rng)
             yield from self.disk.read(cylinder, plan.sequential_reads,
-                                      sequential=True)
+                                      sequential=True, span=span)
             yield from self.cpu.execute(
-                plan.sequential_reads * self.params.read_page_instructions)
+                plan.sequential_reads * self.params.read_page_instructions,
+                span=span)
 
-    def _buffered_page(self, key: str, cylinder: int):
+    def _buffered_page(self, key: str, cylinder: int, span=None):
         """Access one page through the buffer pool (hit: CPU only)."""
         if self.buffer_pool.access(key):
-            yield from self.cpu.execute(self.params.buffer_hit_instructions)
+            yield from self.cpu.execute(self.params.buffer_hit_instructions,
+                                        span=span)
         else:
-            yield from self.disk.read(cylinder, 1, sequential=False)
-            yield from self.cpu.execute(self.params.read_page_instructions)
+            yield from self.disk.read(cylinder, 1, sequential=False,
+                                      span=span)
+            yield from self.cpu.execute(self.params.read_page_instructions,
+                                        span=span)
 
     def _perform_reads_buffered(self, relation: str, attribute: str,
                                 plan: IndexAccessPlan, index,
-                                position: float, aux: bool = False):
+                                position: float, aux: bool = False,
+                                span=None):
         """The explicit-buffer-pool read path: every page consults LRU."""
         catalog = self.catalog
         site = self.node_id
@@ -146,12 +155,12 @@ class OperatorManager:
             index_cylinder = catalog.random_read_cylinder(
                 relation, site, self._rng)
         for key in index_keys:
-            yield from self._buffered_page(key, index_cylinder)
+            yield from self._buffered_page(key, index_cylinder, span=span)
 
         for _ in range(plan.data_random_reads):
             key, cylinder = catalog.random_data_page(relation, site,
                                                      self._rng)
-            yield from self._buffered_page(key, cylinder)
+            yield from self._buffered_page(key, cylinder, span=span)
 
         if plan.data_sequential_reads:
             if aux:
@@ -167,15 +176,21 @@ class OperatorManager:
             hits = len(keys) - len(misses)
             if hits:
                 yield from self.cpu.execute(
-                    hits * self.params.buffer_hit_instructions)
+                    hits * self.params.buffer_hit_instructions, span=span)
             if misses:
                 yield from self.disk.read(cylinder, len(misses),
-                                          sequential=True)
+                                          sequential=True, span=span)
                 yield from self.cpu.execute(
-                    len(misses) * self.params.read_page_instructions)
+                    len(misses) * self.params.read_page_instructions,
+                    span=span)
 
     def _execute_select(self, request: SelectRequest):
-        yield from self.cpu.execute(self.params.operator_startup_instructions)
+        trace = (self.telemetry.lookup(request.query_id)
+                 if self.telemetry.enabled else None)
+        span = trace.start("select.site",
+                           node=self.node_id) if trace else None
+        yield from self.cpu.execute(self.params.operator_startup_instructions,
+                                    span=span)
 
         plan, index = self.catalog.select_plan(
             request.relation, self.node_id, request.attribute,
@@ -183,20 +198,21 @@ class OperatorManager:
         if self.buffer_pool is not None:
             yield from self._perform_reads_buffered(
                 request.relation, request.attribute, plan, index,
-                request.position)
+                request.position, span=span)
         else:
-            yield from self._perform_reads(request.relation, plan)
+            yield from self._perform_reads(request.relation, plan, span=span)
 
         # Predicate evaluation on examined-but-rejected tuples (full
         # scans only), then per-result processing.
         rejected = plan.tuples_examined - plan.tuples_returned
         if rejected:
             yield from self.cpu.execute(
-                rejected * self.params.instructions_per_scanned_tuple)
+                rejected * self.params.instructions_per_scanned_tuple,
+                span=span)
         if plan.tuples_returned:
             yield from self.cpu.execute(
                 plan.tuples_returned
-                * self.params.instructions_per_result_tuple)
+                * self.params.instructions_per_result_tuple, span=span)
 
         # Ship the results to the submitting host, a packet at a time,
         # then report completion to the scheduler.
@@ -205,14 +221,18 @@ class OperatorManager:
             batch = min(remaining, self.params.tuples_per_packet)
             payload = max(batch * self.params.tuple_bytes,
                           self.params.control_message_bytes)
-            yield from self.network.deliver_external(self.node_id, payload)
+            yield from self.network.deliver_external(self.node_id, payload,
+                                                     span=span)
             remaining -= batch
         self.selects_executed += 1
         yield from self.network.deliver(
             self.node_id, request.reply_to,
             self.params.control_message_bytes,
             OperatorDone(query_id=request.query_id, site=self.node_id,
-                         tuples_returned=plan.tuples_returned))
+                         tuples_returned=plan.tuples_returned),
+            span=span)
+        if trace:
+            trace.finish(span, tuples=plan.tuples_returned)
 
     # -- insert execution (extension) -----------------------------------------
 
@@ -223,7 +243,12 @@ class OperatorManager:
         CPU burst per local index.  Auxiliary inserts (BERD maintenance)
         touch the auxiliary extent instead and update its single B-tree.
         """
-        yield from self.cpu.execute(self.params.operator_startup_instructions)
+        trace = (self.telemetry.lookup(request.query_id)
+                 if self.telemetry.enabled else None)
+        span = trace.start("insert.site",
+                           node=self.node_id) if trace else None
+        yield from self.cpu.execute(self.params.operator_startup_instructions,
+                                    span=span)
         aux = isinstance(request, AuxInsertRequest)
         if aux:
             cylinder = self.catalog.aux_read_cylinder(
@@ -235,22 +260,32 @@ class OperatorManager:
                 request.relation, self.node_id, self._rng)
             index_count = max(
                 len(self.catalog.entry(request.relation).indexes), 1)
-        yield from self.disk.read(cylinder, 1, sequential=False)
-        yield from self.cpu.execute(self.params.read_page_instructions)
-        yield from self.disk.write(cylinder, 1, sequential=True)
-        yield from self.cpu.execute(self.params.write_page_instructions)
+        yield from self.disk.read(cylinder, 1, sequential=False, span=span)
+        yield from self.cpu.execute(self.params.read_page_instructions,
+                                    span=span)
+        yield from self.disk.write(cylinder, 1, sequential=True, span=span)
+        yield from self.cpu.execute(self.params.write_page_instructions,
+                                    span=span)
         yield from self.cpu.execute(
-            index_count * self.params.index_update_instructions)
+            index_count * self.params.index_update_instructions, span=span)
         yield from self.network.deliver(
             self.node_id, request.reply_to,
             self.params.control_message_bytes,
             OperatorDone(query_id=request.query_id, site=self.node_id,
-                         tuples_returned=0))
+                         tuples_returned=0),
+            span=span)
+        if trace:
+            trace.finish(span)
 
     # -- BERD probe execution -----------------------------------------------------
 
     def _execute_probe(self, request: ProbeRequest):
-        yield from self.cpu.execute(self.params.operator_startup_instructions)
+        trace = (self.telemetry.lookup(request.query_id)
+                 if self.telemetry.enabled else None)
+        span = trace.start("probe.site",
+                           node=self.node_id) if trace else None
+        yield from self.cpu.execute(self.params.operator_startup_instructions,
+                                    span=span)
 
         aux = self.catalog.aux_btree(request.relation, self.node_id,
                                      request.attribute)
@@ -258,18 +293,22 @@ class OperatorManager:
         if self.buffer_pool is not None:
             yield from self._perform_reads_buffered(
                 request.relation, request.attribute, plan, aux,
-                request.position, aux=True)
+                request.position, aux=True, span=span)
         else:
             yield from self._perform_reads(request.relation, plan,
                                            sequential_source="aux",
-                                           attribute=request.attribute)
+                                           attribute=request.attribute,
+                                           span=span)
         if plan.tuples_examined:
             yield from self.cpu.execute(
                 plan.tuples_examined
-                * self.params.instructions_per_index_entry)
+                * self.params.instructions_per_index_entry, span=span)
 
         self.probes_executed += 1
         yield from self.network.deliver(
             self.node_id, request.reply_to,
             self.params.control_message_bytes,
-            ProbeReply(query_id=request.query_id, site=self.node_id))
+            ProbeReply(query_id=request.query_id, site=self.node_id),
+            span=span)
+        if trace:
+            trace.finish(span)

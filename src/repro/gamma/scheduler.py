@@ -25,6 +25,7 @@ from typing import Dict, Optional, Tuple
 
 from ..core.strategy import Placement, RangePredicate
 from ..des import Environment, Event
+from ..obs.telemetry import NULL_TELEMETRY
 from .catalog import SystemCatalog
 from .messages import (
     AuxInsertRequest,
@@ -54,6 +55,8 @@ class QueryHandle:
     probes_complete: Optional[Event] = None
     tuples_returned: int = 0
     sites_used: int = 0
+    #: Span tree of this query (None unless telemetry tracing is on).
+    trace: Optional[object] = None
 
 
 class QueryScheduler:
@@ -61,13 +64,16 @@ class QueryScheduler:
 
     def __init__(self, env: Environment, params: SimulationParameters,
                  node_id: int, endpoint: NetworkEndpoint, network: Network,
-                 catalog: SystemCatalog):
+                 catalog: SystemCatalog, telemetry=NULL_TELEMETRY):
         self.env = env
         self.params = params
         self.node_id = node_id
         self.endpoint = endpoint
         self.network = network
         self.catalog = catalog
+        self.telemetry = telemetry
+        self._completed_counter = telemetry.registry.counter(
+            "sched.queries.completed")
         self._queries: Dict[int, QueryHandle] = {}
         self._next_id = 0
         env.process(self._dispatch_loop())
@@ -81,6 +87,9 @@ class QueryScheduler:
         handle = QueryHandle(query_id=self._next_id, query_type=query_type,
                              completion=Event(self.env),
                              submitted_at=self.env.now)
+        if self.telemetry.enabled:
+            handle.trace = self.telemetry.begin_query(handle.query_id,
+                                                      query_type)
         self._queries[handle.query_id] = handle
         self.env.process(self._run_query(handle, relation, predicate))
         return handle
@@ -98,6 +107,9 @@ class QueryScheduler:
         handle = QueryHandle(query_id=self._next_id, query_type=query_type,
                              completion=Event(self.env),
                              submitted_at=self.env.now)
+        if self.telemetry.enabled:
+            handle.trace = self.telemetry.begin_query(handle.query_id,
+                                                      query_type)
         self._queries[handle.query_id] = handle
         self.env.process(self._run_insert(handle, relation, values))
         return handle
@@ -105,10 +117,16 @@ class QueryScheduler:
     def _run_insert(self, handle: QueryHandle, relation: str,
                     values: Dict[str, int]):
         cpu = self.endpoint.cpu
+        trace = handle.trace
         placement = self.catalog.entry(relation).placement
-        yield from cpu.execute(self.params.query_plan_instructions)
+        plan_span = trace.start("plan") if trace else None
+        yield from cpu.execute(self.params.query_plan_instructions,
+                               span=plan_span)
         yield from cpu.execute(
-            self.catalog.localization_instructions(relation))
+            self.catalog.localization_instructions(relation),
+            span=plan_span)
+        if trace:
+            trace.finish(plan_span)
 
         home = placement.site_for_tuple(values)
         targets = [(home, None)]
@@ -123,6 +141,8 @@ class QueryScheduler:
         handle.pending_done = len(targets)
         handle.sites_used = len({site for site, _ in targets})
         domain = max(placement.relation.cardinality, 1)
+        dispatch_span = trace.start("dispatch",
+                                    sites=len(targets)) if trace else None
         for site, attribute in targets:
             if attribute is None:
                 message = InsertRequest(
@@ -135,21 +155,29 @@ class QueryScheduler:
                     position=min(values[attribute] / domain, 0.999999))
             yield from self.network.deliver(
                 self.node_id, site, self.params.control_message_bytes,
-                message)
+                message, span=dispatch_span)
+        if trace:
+            trace.finish(dispatch_span)
 
     # -- coordination -----------------------------------------------------------
 
     def _run_query(self, handle: QueryHandle, relation: str,
                    predicate: RangePredicate):
         cpu = self.endpoint.cpu
+        trace = handle.trace
         placement = self.catalog.entry(relation).placement
 
         # Query manager: plan + localize.
-        yield from cpu.execute(self.params.query_plan_instructions)
+        plan_span = trace.start("plan") if trace else None
+        yield from cpu.execute(self.params.query_plan_instructions,
+                               span=plan_span)
         yield from cpu.execute(
-            self.catalog.localization_instructions(relation))
+            self.catalog.localization_instructions(relation),
+            span=plan_span)
         decision = placement.route(predicate)
         handle.sites_used = decision.site_count
+        if trace:
+            trace.finish(plan_span, sites=decision.site_count)
 
         # Predicate position within the domain, for buffer-pool page ids.
         domain = max(placement.relation.cardinality, 1)
@@ -157,6 +185,8 @@ class QueryScheduler:
 
         # BERD step 1: probe the auxiliary index, wait for every reply.
         if decision.is_two_phase:
+            probe_span = trace.start(
+                "probe", sites=len(decision.probe_sites)) if trace else None
             handle.pending_probes = len(decision.probe_sites)
             handle.probes_complete = Event(self.env)
             for site, matches in zip(decision.probe_sites,
@@ -167,8 +197,11 @@ class QueryScheduler:
                                  relation=relation,
                                  attribute=predicate.attribute,
                                  matches=matches, reply_to=self.node_id,
-                                 position=position))
+                                 position=position),
+                    span=probe_span)
             yield handle.probes_complete
+            if trace:
+                trace.finish(probe_span)
 
         # Step 2: the selection proper on each target site.
         targets = decision.target_sites
@@ -177,6 +210,8 @@ class QueryScheduler:
             clustered = self.catalog.entry(relation).indexes.get(
                 predicate.attribute, False)
             handle.pending_done = len(targets)
+            dispatch_span = trace.start(
+                "dispatch", sites=len(targets)) if trace else None
             for site in targets:
                 yield from self.network.deliver(
                     self.node_id, site, self.params.control_message_bytes,
@@ -186,7 +221,10 @@ class QueryScheduler:
                                   clustered_index=clustered,
                                   matches=int(counts[site]),
                                   reply_to=self.node_id,
-                                  position=position))
+                                  position=position),
+                    span=dispatch_span)
+            if trace:
+                trace.finish(dispatch_span)
             # Completion is triggered by the dispatch loop when the last
             # done message arrives.
         else:
@@ -194,6 +232,9 @@ class QueryScheduler:
 
     def _finish(self, handle: QueryHandle) -> None:
         del self._queries[handle.query_id]
+        self._completed_counter.inc()
+        if handle.trace is not None:
+            self.telemetry.end_query(handle.query_id)
         handle.completion.succeed(handle)
 
     # -- incoming messages -------------------------------------------------------

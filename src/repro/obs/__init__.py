@@ -1,0 +1,76 @@
+"""Simulation telemetry: metrics, trace spans, timelines, exporters.
+
+The observability layer of the simulator.  The paper's §7 explains every
+throughput curve by naming the saturated resource; this package makes
+those explanations reproducible from a run:
+
+* :mod:`~repro.obs.registry` -- hierarchical Counter / Gauge /
+  Histogram / Timeline instruments (``node.3.disk.reads``);
+* :mod:`~repro.obs.spans` -- per-query span trees with queue-wait vs.
+  service-time per resource, stored in the bounded
+  :class:`~repro.des.trace.Tracer`;
+* :mod:`~repro.obs.sampler` -- utilization timelines sampled at a
+  configurable interval;
+* :mod:`~repro.obs.export` -- JSONL and Prometheus-text exporters plus
+  span-tree replay validation;
+* :mod:`~repro.obs.summary` -- the paper-style "why" table (top-k
+  resources by attributed time per query type);
+* :mod:`~repro.obs.telemetry` -- the per-run bundle; pass
+  ``Telemetry()`` to :class:`~repro.gamma.machine.GammaMachine`, or
+  nothing for the near-zero-cost disabled default.
+"""
+
+from .export import (
+    build_span_forest,
+    load_jsonl,
+    metric_records,
+    render_prometheus,
+    span_records,
+    validate_span_forest,
+    write_metrics_jsonl,
+    write_spans_jsonl,
+)
+from .registry import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    Timeline,
+)
+from .sampler import TimelineSampler
+from .spans import SPAN_KIND, QueryTrace, Span, SpanLog
+from .summary import dominant_resource, resource_breakdown, why_table
+from .telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timeline",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "QueryTrace",
+    "SpanLog",
+    "SPAN_KIND",
+    "TimelineSampler",
+    "span_records",
+    "metric_records",
+    "write_spans_jsonl",
+    "write_metrics_jsonl",
+    "render_prometheus",
+    "load_jsonl",
+    "build_span_forest",
+    "validate_span_forest",
+    "why_table",
+    "dominant_resource",
+    "resource_breakdown",
+]

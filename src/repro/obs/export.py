@@ -1,0 +1,175 @@
+"""Exporters: JSONL span / metric dumps and Prometheus text rendering.
+
+Artifacts written for one run:
+
+* ``spans.jsonl`` -- one JSON object per closed span (trace id, span id,
+  parent id, name, interval, wait/service attributes);
+* ``metrics.jsonl`` -- one JSON object per registry instrument;
+* ``metrics.prom`` -- the registry in the Prometheus text exposition
+  format (timelines are rendered as their last sample).
+
+The module also re-reads its own span dumps (:func:`load_jsonl`,
+:func:`build_span_forest`, :func:`validate_span_forest`) so a test can
+replay an export and check that every trace forms a well-nested tree.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry, Timeline
+from .spans import SpanLog
+
+__all__ = [
+    "span_records",
+    "metric_records",
+    "write_spans_jsonl",
+    "write_metrics_jsonl",
+    "render_prometheus",
+    "load_jsonl",
+    "build_span_forest",
+    "validate_span_forest",
+]
+
+
+# -- JSONL ---------------------------------------------------------------
+
+def span_records(log: SpanLog) -> Iterator[Dict]:
+    """The retained spans of *log* as JSON-serializable dictionaries."""
+    for entry in log.entries():
+        record = dict(entry.details)
+        record["closed_at"] = entry.time
+        yield record
+
+
+def metric_records(registry: MetricsRegistry) -> Iterator[Dict]:
+    """Every registry instrument as a JSON-serializable dictionary."""
+    for metric in registry:
+        yield metric.as_dict()
+
+
+def write_spans_jsonl(log: SpanLog, path: str) -> int:
+    """Dump the retained spans to *path*; returns the line count."""
+    count = 0
+    with open(path, "w") as handle:
+        for record in span_records(log):
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def write_metrics_jsonl(registry: MetricsRegistry, path: str) -> int:
+    """Dump the registry to *path*; returns the line count."""
+    count = 0
+    with open(path, "w") as handle:
+        for record in metric_records(registry):
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: str) -> List[Dict]:
+    """Read back a JSONL dump."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# -- span replay -----------------------------------------------------------
+
+def build_span_forest(records: List[Dict]) -> Dict[int, Dict[int, Dict]]:
+    """Group span records into ``{trace_id: {span_id: record}}``."""
+    forest: Dict[int, Dict[int, Dict]] = {}
+    for record in records:
+        forest.setdefault(record["trace"], {})[record["span"]] = record
+    return forest
+
+
+def validate_span_forest(records: List[Dict]) -> List[str]:
+    """Structural checks on a span export; returns human-readable errors.
+
+    A valid export has, per trace: exactly one root span (no parent),
+    every other span's parent present, every child interval nested
+    within its parent's interval, and no cycles.
+    """
+    errors: List[str] = []
+    for trace_id, spans in build_span_forest(records).items():
+        roots = [s for s in spans.values() if s["parent"] is None]
+        if len(roots) != 1:
+            errors.append(f"trace {trace_id}: {len(roots)} root spans")
+        for span in spans.values():
+            if span["end"] < span["start"]:
+                errors.append(
+                    f"trace {trace_id} span {span['span']}: negative length")
+            parent_id = span["parent"]
+            if parent_id is None:
+                continue
+            parent = spans.get(parent_id)
+            if parent is None:
+                errors.append(f"trace {trace_id} span {span['span']}: "
+                              f"missing parent {parent_id}")
+                continue
+            eps = 1e-9
+            if (span["start"] < parent["start"] - eps
+                    or span["end"] > parent["end"] + eps):
+                errors.append(
+                    f"trace {trace_id} span {span['span']} "
+                    f"[{span['start']:.6f}, {span['end']:.6f}] escapes "
+                    f"parent {parent_id} "
+                    f"[{parent['start']:.6f}, {parent['end']:.6f}]")
+            # Cycle check: walk to the root, bounded by the span count.
+            seen = set()
+            current = span
+            while current is not None and current["parent"] is not None:
+                if current["span"] in seen:
+                    errors.append(f"trace {trace_id}: parent cycle at "
+                                  f"span {current['span']}")
+                    break
+                seen.add(current["span"])
+                current = spans.get(current["parent"])
+    return errors
+
+
+# -- Prometheus text format ------------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry,
+                      prefix: str = "repro_") -> str:
+    """The registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for metric in registry:
+        name = prefix + _prom_name(metric.name)
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_prom_value(metric.value)}")
+        elif isinstance(metric, Timeline):
+            lines.append(f"# TYPE {name} gauge")
+            last = metric.last
+            lines.append(f"{name} {_prom_value(last[1] if last else 0.0)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_prom_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {name} histogram")
+            for le, count in zip(metric.bounds, metric.bucket_counts):
+                lines.append(f'{name}_bucket{{le="{le:g}"}} {count}')
+            lines.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{name}_sum {_prom_value(metric.total)}")
+            lines.append(f"{name}_count {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,124 @@
+"""Utilization timelines: periodic sampling of resource state.
+
+A :class:`TimelineSampler` is a simulation process that wakes every
+``interval`` simulated seconds and appends one sample per registered
+probe to a :class:`~repro.obs.registry.Timeline`.  Three probe shapes
+cover the Gamma model's resources:
+
+* **rate probes** turn a cumulative busy-seconds counter into a
+  per-interval utilization (``delta busy / interval``) -- CPU, disk;
+* **ratio probes** turn two cumulative counters into a per-interval
+  ratio (``delta num / delta (num + den)``) -- buffer-pool hit rate;
+* **level probes** record an instantaneous value -- queue lengths,
+  bytes on the wire.
+
+This replaces the old end-of-run point-in-time utilization scrape: the
+same cumulative counters are read, but on a clock, so a run yields a
+*timeline* per resource instead of one number.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from ..des.environment import Environment
+from .registry import MetricsRegistry, Timeline
+
+__all__ = ["TimelineSampler"]
+
+
+class TimelineSampler:
+    """Samples registered probes into timelines at a fixed interval."""
+
+    def __init__(self, env: Environment, registry: MetricsRegistry,
+                 interval: float = 0.5):
+        if interval <= 0:
+            raise ValueError(f"sampling interval must be > 0, got {interval}")
+        self.env = env
+        self.registry = registry
+        self.interval = interval
+        self.samples_taken = 0
+        self._started = False
+        self._last_sample_time = env.now
+        # (timeline, sample_fn) where sample_fn(dt) -> value
+        self._probes: List[Tuple[Timeline, Callable[[float], float]]] = []
+
+    # -- probe registration ----------------------------------------------
+
+    def add_rate_probe(self, name: str,
+                       cumulative: Callable[[], float]) -> None:
+        """Per-interval rate of a cumulative quantity (busy seconds -> util)."""
+        timeline = self.registry.timeline(name)
+        state = {"prev": cumulative()}
+
+        def sample(dt: float) -> float:
+            now_value = cumulative()
+            rate = (now_value - state["prev"]) / dt
+            state["prev"] = now_value
+            return rate
+
+        self._probes.append((timeline, sample))
+
+    def add_ratio_probe(self, name: str, numerator: Callable[[], float],
+                        denominator: Callable[[], float]) -> None:
+        """Per-interval ``delta num / delta den`` (0.0 when idle)."""
+        timeline = self.registry.timeline(name)
+        state = {"num": numerator(), "den": denominator()}
+
+        def sample(dt: float) -> float:
+            num, den = numerator(), denominator()
+            d_num, d_den = num - state["num"], den - state["den"]
+            state["num"], state["den"] = num, den
+            return d_num / d_den if d_den else 0.0
+
+        self._probes.append((timeline, sample))
+
+    def add_level_probe(self, name: str,
+                        level: Callable[[], float]) -> None:
+        """Instantaneous level (queue length, in-flight count)."""
+        timeline = self.registry.timeline(name)
+        self._probes.append((timeline, lambda dt: float(level())))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def resync(self) -> None:
+        """Re-read every cumulative baseline (after external stat resets)."""
+        self._last_sample_time = self.env.now
+        for _, sample in self._probes:
+            sample(float("inf"))  # discard one delta against the new baseline
+
+    def final_sample(self) -> None:
+        """Sample the partial interval since the last tick (end of run).
+
+        A measurement window shorter than the sampling interval would
+        otherwise export empty timelines; the final sample covers
+        whatever fraction of an interval remains.
+        """
+        dt = self.env.now - self._last_sample_time
+        if dt <= 0:
+            return
+        now = self.env.now
+        self._last_sample_time = now
+        self.samples_taken += 1
+        for timeline, sample in self._probes:
+            timeline.sample(now, sample(dt))
+
+    def start(self) -> None:
+        """Begin sampling (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.env.process(self._loop())
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def _loop(self):
+        while True:
+            yield self.env.timeout(self.interval)
+            now = self.env.now
+            self._last_sample_time = now
+            self.samples_taken += 1
+            for timeline, sample in self._probes:
+                timeline.sample(now, sample(self.interval))

@@ -1,0 +1,62 @@
+"""The "why" table: where each query type's time went.
+
+The paper explains every throughput curve by naming the saturated
+resource (§7: MAGIC's scheduler CPU at high MPL, BERD's auxiliary probe,
+range's disk contention).  :func:`why_table` reproduces that reading
+from a run's span aggregates: per query type, the top-k resources by
+attributed time (queue wait + service), with the wait/service split that
+distinguishes *contended* resources from merely *used* ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .spans import SpanLog
+
+__all__ = ["why_table", "dominant_resource", "resource_breakdown"]
+
+
+def resource_breakdown(log: SpanLog) -> Dict[str, List[Tuple[str, float,
+                                                             float, int]]]:
+    """Per query type: ``(resource, wait, service, count)`` sorted by
+    attributed time (wait + service), largest first."""
+    out: Dict[str, List[Tuple[str, float, float, int]]] = {}
+    for qtype, by_resource in log.resource_totals.items():
+        rows = [(resource, wait, service, int(count))
+                for resource, (wait, service, count) in by_resource.items()]
+        rows.sort(key=lambda row: -(row[1] + row[2]))
+        out[qtype] = rows
+    return out
+
+
+def dominant_resource(log: SpanLog, query_type: str) -> Optional[str]:
+    """The resource with the most attributed time for *query_type*."""
+    rows = resource_breakdown(log).get(query_type)
+    return rows[0][0] if rows else None
+
+
+def why_table(log: SpanLog, top_k: int = 5) -> str:
+    """Render the per-query-type resource breakdown as a text table."""
+    breakdown = resource_breakdown(log)
+    if not breakdown:
+        return "(no spans recorded -- was tracing enabled?)"
+    lines: List[str] = []
+    for qtype in sorted(breakdown):
+        rows = breakdown[qtype]
+        total_time = sum(wait + service for _, wait, service, _ in rows)
+        lines.append(f"query type {qtype} -- attributed time "
+                     f"{total_time:.3f}s across {len(rows)} resources")
+        lines.append(f"  {'resource':<12} {'wait s':>10} {'service s':>10} "
+                     f"{'total s':>10} {'share':>7} {'acquisitions':>13}")
+        for resource, wait, service, count in rows[:top_k]:
+            time_here = wait + service
+            share = time_here / total_time if total_time else 0.0
+            lines.append(f"  {resource:<12} {wait:>10.3f} {service:>10.3f} "
+                         f"{time_here:>10.3f} {share:>6.1%} {count:>13d}")
+        if len(rows) > top_k:
+            rest = sum(w + s for _, w, s, _ in rows[top_k:])
+            lines.append(f"  {'(other)':<12} {'':>10} {'':>10} "
+                         f"{rest:>10.3f}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,141 @@
+"""The telemetry bundle threaded through a simulation run.
+
+One :class:`Telemetry` object per :class:`~repro.gamma.machine.
+GammaMachine` bundles the three collection surfaces -- metrics registry,
+span log, utilization timeline sampler -- behind a single ``enabled``
+flag, so instrumented components pay exactly one attribute check when
+telemetry is off (:data:`NULL_TELEMETRY`, the default).
+
+Construction is two-phase because a telemetry object is usually created
+by the CLI before any simulation environment exists: ``Telemetry()``
+carries configuration; the machine calls :meth:`bind` with its
+environment, which materializes the span log.  A telemetry object binds
+to exactly one environment (one run).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..des.environment import Environment
+from .registry import MetricsRegistry, NULL_REGISTRY, NullRegistry
+from .sampler import TimelineSampler
+from .spans import QueryTrace, SpanLog
+
+__all__ = ["Telemetry", "NullTelemetry", "NULL_TELEMETRY"]
+
+
+class Telemetry:
+    """Live telemetry for one simulation run."""
+
+    enabled = True
+
+    def __init__(self, trace: bool = True, timeline_interval: float = 0.5,
+                 span_capacity: int = 200_000):
+        self.registry = MetricsRegistry()
+        self.timeline_interval = timeline_interval
+        self.span_capacity = span_capacity
+        self._trace_spans = trace
+        self.spans: Optional[SpanLog] = None
+        self.sampler: Optional[TimelineSampler] = None
+        self.env: Optional[Environment] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def bind(self, env: Environment) -> "Telemetry":
+        """Attach to a simulation environment (once)."""
+        if self.env is not None:
+            if self.env is env:
+                return self
+            raise RuntimeError(
+                "telemetry already bound to a different environment; "
+                "create one Telemetry per machine")
+        self.env = env
+        if self._trace_spans:
+            self.spans = SpanLog(env, capacity=self.span_capacity)
+        if self.timeline_interval:
+            self.sampler = TimelineSampler(env, self.registry,
+                                           self.timeline_interval)
+        return self
+
+    def begin_window(self) -> None:
+        """Start of the measurement window: drop warm-up telemetry.
+
+        Registry instruments and finished spans are cleared (the run's
+        artifacts should describe steady state, like every other
+        statistic), and the utilization sampler starts ticking.
+        """
+        self.registry.reset()
+        if self.spans is not None:
+            self.spans.reset()
+        if self.sampler is not None:
+            self.sampler.resync()
+            self.sampler.start()
+
+    def end_window(self) -> None:
+        """End of the run: force-close the spans of in-flight queries.
+
+        Without this, queries interrupted by the end of the measurement
+        window would leave leaf spans whose root was never emitted,
+        breaking the exported trees' replay validation.  The sampler
+        also takes one final partial-interval sample so a window
+        shorter than the sampling interval still exports non-empty
+        timelines.
+        """
+        if self.spans is not None:
+            self.spans.flush()
+        if self.sampler is not None and self.sampler.started:
+            self.sampler.final_sample()
+
+    # -- hot-path hooks ------------------------------------------------------
+
+    @property
+    def tracing(self) -> bool:
+        return self.spans is not None
+
+    def begin_query(self, query_id: int,
+                    query_type: str) -> Optional[QueryTrace]:
+        if self.spans is None:
+            return None
+        return self.spans.begin(query_id, query_type)
+
+    def lookup(self, query_id: int) -> Optional[QueryTrace]:
+        if self.spans is None:
+            return None
+        return self.spans.active.get(query_id)
+
+    def end_query(self, query_id: int) -> None:
+        if self.spans is not None and query_id in self.spans.active:
+            self.spans.end(query_id)
+
+
+class NullTelemetry:
+    """The disabled telemetry: every hook is a cheap no-op."""
+
+    enabled = False
+    tracing = False
+    spans = None
+    sampler = None
+    registry: NullRegistry = NULL_REGISTRY
+
+    def bind(self, env: Environment) -> "NullTelemetry":
+        return self
+
+    def begin_window(self) -> None:
+        pass
+
+    def end_window(self) -> None:
+        pass
+
+    def begin_query(self, query_id: int, query_type: str) -> None:
+        return None
+
+    def lookup(self, query_id: int) -> None:
+        return None
+
+    def end_query(self, query_id: int) -> None:
+        pass
+
+
+#: The shared disabled telemetry object.
+NULL_TELEMETRY = NullTelemetry()

@@ -101,3 +101,76 @@ class TestQuerying:
         text = tracer.render(limit=3)
         assert text.count("\n") == 2
         assert "i=9" in text
+
+
+class TestEvictionAccounting:
+    def test_per_kind_counts_survive_eviction(self, env):
+        tracer = Tracer(env, capacity=4)
+        for i in range(6):
+            tracer.record("io", i=i)
+        for i in range(4):
+            tracer.record("net", i=i)
+        # 10 recorded into capacity 4: the oldest 6 were evicted, but
+        # per-kind totals still reflect everything recorded.
+        assert len(tracer) == 4
+        assert tracer.evicted == 6
+        assert tracer.count("io") == 6
+        assert tracer.count("net") == 4
+        assert all(e.kind == "net" for e in tracer)
+
+    def test_clear_resets_eviction_counter(self, env):
+        tracer = Tracer(env, capacity=1)
+        tracer.record("a")
+        tracer.record("a")
+        assert tracer.evicted == 1
+        tracer.clear()
+        assert tracer.evicted == 0
+        assert tracer.count("a") == 0
+
+    def test_query_sees_only_retained_entries(self, env):
+        tracer = Tracer(env, capacity=2)
+        for i in range(5):
+            tracer.record("e", i=i)
+        retained = [e.details["i"] for e in tracer.query(kind="e")]
+        assert retained == [3, 4]
+
+
+class TestQueryFiltering:
+    def test_all_filters_combine(self, env):
+        tracer = Tracer(env)
+
+        def proc(env):
+            for t in range(4):
+                tracer.record("io", node=t % 2)
+                tracer.record("cpu", node=t % 2)
+                yield env.timeout(1)
+
+        env.process(proc(env))
+        env.run()
+        hits = list(tracer.query(kind="io", since=1.0, until=3.0, node=1))
+        assert [e.time for e in hits] == [1.0, 3.0]
+        assert all(e.kind == "io" and e.details["node"] == 1 for e in hits)
+
+    def test_detail_filter_skips_entries_without_key(self, env):
+        tracer = Tracer(env)
+        tracer.record("io", node=1)
+        tracer.record("io")  # no node detail at all
+        assert len(list(tracer.query(kind="io", node=1))) == 1
+
+    def test_span_layer_records_through_tracer(self, env):
+        # The obs span log stores its spans as plain tracer entries, so
+        # the tracer's filtering works on spans like any other kind.
+        from repro.obs import SPAN_KIND, SpanLog
+
+        tracer = Tracer(env, capacity=3)
+        log = SpanLog(env, tracer=tracer)
+        trace = log.begin(1, "QA")
+        for _ in range(4):
+            trace.resource(trace.root, "node.cpu", wait=0.0, service=0.1)
+        log.end(1)
+        # 5 spans through capacity 3: bounded, eviction counted, and
+        # kind/detail filtering applies.
+        assert tracer.evicted == 2
+        assert tracer.count(SPAN_KIND) == 5
+        assert log.span_count() == 5
+        assert len(list(tracer.query(kind=SPAN_KIND, qtype="QA"))) == 3

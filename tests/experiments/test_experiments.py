@@ -159,3 +159,50 @@ class TestCli:
                      "--save-json", str(tmp_path)])
         assert code == 0
         assert os.path.exists(tmp_path / "figure_8a.json")
+
+
+class TestCliTelemetry:
+    def test_trace_writes_artifacts(self, capsys, tmp_path):
+        import os
+        code = main(["--figure", "8a", "--trace",
+                     "--metrics-out", str(tmp_path),
+                     "--cardinality", "10000",
+                     "--processors-count", "4",
+                     "--mpls", "2", "--measured", "30"])
+        assert code == 0
+        stem = tmp_path / "8a_range_mpl2"
+        for suffix in (".spans.jsonl", ".metrics.jsonl", ".metrics.prom",
+                       ".summary.txt"):
+            assert os.path.exists(str(stem) + suffix)
+        # The span dump replays as well-nested trees.
+        from repro.obs import load_jsonl, validate_span_forest
+        records = load_jsonl(str(stem) + ".spans.jsonl")
+        assert records
+        assert validate_span_forest(records) == []
+        summary = (tmp_path / "8a_range_mpl2.summary.txt").read_text()
+        assert "query type" in summary
+        prom = (tmp_path / "8a_range_mpl2.metrics.prom").read_text()
+        assert "# TYPE repro_" in prom
+
+    def test_untraced_run_writes_nothing(self, capsys, tmp_path):
+        import os
+        out_dir = tmp_path / "never"
+        code = main(["--figure", "8a",
+                     "--cardinality", "10000",
+                     "--processors-count", "4",
+                     "--mpls", "2", "--measured", "30"])
+        assert code == 0
+        assert not os.path.exists(out_dir)
+
+    def test_explain_prints_breakdown(self, capsys):
+        code = main(["--explain", "8a", "--explain-mpl", "4",
+                     "--cardinality", "10000",
+                     "--processors-count", "4",
+                     "--measured", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 8a at MPL 4" in out
+        assert "query type QA" in out
+        assert "bottleneck" in out
+        assert "saturated resource" in out
+        assert "scheduler CPU load by strategy" in out

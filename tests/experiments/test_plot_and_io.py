@@ -107,3 +107,22 @@ class TestResultsIo:
         assert len(lines) == 1 + 3 * 2
         assert lines[0].startswith("figure,strategy,mpl")
         assert any(line.startswith("8a,magic,8,") for line in lines)
+
+
+class TestSeedEcho:
+    def test_seed_round_trips_through_json(self, small_result, tmp_path):
+        assert small_result.seed == 5
+        payload = figure_to_dict(small_result)
+        assert payload["seed"] == 5
+        path = tmp_path / "8a.json"
+        save_figure_json(small_result, str(path))
+        # The artifact itself names the seed it was generated with.
+        assert json.loads(path.read_text())["seed"] == 5
+        restored = load_figure_json(str(path))
+        assert restored.seed == 5
+
+    def test_legacy_payload_without_seed_defaults(self, small_result):
+        payload = figure_to_dict(small_result)
+        del payload["seed"]
+        restored = figure_from_dict(payload)
+        assert restored.seed == 13

@@ -1,5 +1,7 @@
 """Unit tests for run metrics, including confidence intervals."""
 
+import math
+
 import pytest
 
 from repro.core import RangeStrategy
@@ -70,12 +72,32 @@ class TestConfidenceIntervals:
         # Perfectly regular completions: tiny CI relative to 1 q/s.
         assert ci < 0.1
 
-    def test_too_few_completions_zero_ci(self, env):
+    def test_too_few_completions_nan_ci(self, env):
+        # A too-short window must NOT report 0.0 (indistinguishable from
+        # a perfectly tight interval): it reports NaN.
         metrics = RunMetrics(env)
         for _ in range(3):
             metrics.record_completion("QA", 0.1)
         env.run(until=10)
-        assert metrics.throughput_confidence(batches=10) == 0.0
+        assert math.isnan(metrics.throughput_confidence(batches=10))
+
+    def test_empty_window_nan_ci(self, env):
+        metrics = RunMetrics(env)
+        assert math.isnan(metrics.throughput_confidence())
+
+    def test_enough_completions_finite_ci(self, env):
+        metrics = RunMetrics(env)
+
+        def stream(env):
+            for _ in range(20):
+                yield env.timeout(1.0)
+                metrics.record_completion("QA", 0.1)
+
+        env.process(stream(env))
+        env.run()
+        ci = metrics.throughput_confidence(batches=10)
+        assert math.isfinite(ci)
+        assert ci >= 0.0
 
     def test_invalid_batches(self, env):
         metrics = RunMetrics(env)

@@ -1,0 +1,64 @@
+"""Unit tests for the JSONL and Prometheus exporters."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    load_jsonl,
+    metric_records,
+    render_prometheus,
+    write_metrics_jsonl,
+)
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("node.0.disk.reads").inc(12)
+    registry.gauge("sched.queries.in_flight").set(4)
+    hist = registry.histogram("disk.wait_seconds", bounds=(0.01, 0.1))
+    hist.observe(0.005)
+    hist.observe(0.05)
+    timeline = registry.timeline("node.0.cpu.utilization")
+    timeline.sample(1.0, 0.25)
+    timeline.sample(2.0, 0.75)
+    return registry
+
+
+class TestJsonl:
+    def test_metric_records_cover_all_instruments(self, registry):
+        records = {r["name"]: r for r in metric_records(registry)}
+        assert set(records) == {"node.0.disk.reads",
+                                "sched.queries.in_flight",
+                                "disk.wait_seconds",
+                                "node.0.cpu.utilization"}
+        assert records["node.0.disk.reads"]["value"] == 12
+        assert records["disk.wait_seconds"]["count"] == 2
+        assert records["node.0.cpu.utilization"]["points"] == [[1.0, 0.25],
+                                                               [2.0, 0.75]]
+
+    def test_round_trip_through_file(self, registry, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        written = write_metrics_jsonl(registry, str(path))
+        records = load_jsonl(str(path))
+        assert written == len(records) == 4
+        by_name = {r["name"]: r for r in records}
+        assert by_name["sched.queries.in_flight"]["value"] == 4
+
+
+class TestPrometheus:
+    def test_rendering(self, registry):
+        text = render_prometheus(registry)
+        assert "# TYPE repro_node_0_disk_reads counter" in text
+        assert "repro_node_0_disk_reads 12.0" in text
+        assert "repro_sched_queries_in_flight 4.0" in text
+        # Histogram: cumulative buckets plus +Inf, sum, count.
+        assert 'repro_disk_wait_seconds_bucket{le="0.01"} 1' in text
+        assert 'repro_disk_wait_seconds_bucket{le="0.1"} 2' in text
+        assert 'repro_disk_wait_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_disk_wait_seconds_count 2" in text
+        # Timelines render as a gauge holding the last sample.
+        assert "repro_node_0_cpu_utilization 0.75" in text
+
+    def test_empty_registry(self):
+        assert render_prometheus(MetricsRegistry()) == ""

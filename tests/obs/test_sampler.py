@@ -1,0 +1,106 @@
+"""Unit tests for the utilization timeline sampler."""
+
+import pytest
+
+from repro.des import Environment
+from repro.obs import MetricsRegistry, TimelineSampler
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestProbes:
+    def test_rate_probe_differences_cumulative(self, env, registry):
+        sampler = TimelineSampler(env, registry, interval=1.0)
+        busy = {"seconds": 0.0}
+        sampler.add_rate_probe("cpu.utilization", lambda: busy["seconds"])
+        sampler.start()
+
+        def workload(env):
+            while True:
+                yield env.timeout(1.0)
+                busy["seconds"] += 0.25  # 25% busy per interval
+
+        env.process(workload(env))
+        env.run(until=4.5)
+        timeline = registry.get("cpu.utilization")
+        assert len(timeline) == 4
+        values = [v for _, v in timeline.points]
+        # First interval saw no work before its sample; the rest are 25%.
+        assert values[1:] == [pytest.approx(0.25)] * 3
+
+    def test_ratio_probe_zero_when_idle(self, env, registry):
+        sampler = TimelineSampler(env, registry, interval=1.0)
+        state = {"hits": 0.0, "total": 0.0}
+        sampler.add_ratio_probe("buffer.hit_rate",
+                                lambda: state["hits"],
+                                lambda: state["total"])
+        sampler.start()
+        env.run(until=1.5)  # no traffic at all
+        timeline = registry.get("buffer.hit_rate")
+        assert [v for _, v in timeline.points] == [0.0]
+
+    def test_level_probe_snapshots(self, env, registry):
+        sampler = TimelineSampler(env, registry, interval=0.5)
+        queue = {"length": 0}
+        sampler.add_level_probe("disk.queue", lambda: queue["length"])
+        sampler.start()
+
+        def fill(env):
+            yield env.timeout(0.75)
+            queue["length"] = 7
+
+        env.process(fill(env))
+        env.run(until=1.25)
+        values = [v for _, v in registry.get("disk.queue").points]
+        assert values == [0.0, 7.0]
+
+
+class TestLifecycle:
+    def test_invalid_interval(self, env, registry):
+        with pytest.raises(ValueError):
+            TimelineSampler(env, registry, interval=0.0)
+
+    def test_start_idempotent(self, env, registry):
+        sampler = TimelineSampler(env, registry, interval=1.0)
+        sampler.add_level_probe("x", lambda: 1)
+        sampler.start()
+        sampler.start()
+        env.run(until=2.5)
+        # One process, not two: exactly one sample per interval.
+        assert len(registry.get("x")) == 2
+        assert sampler.samples_taken == 2
+
+    def test_resync_discards_warmup_delta(self, env, registry):
+        sampler = TimelineSampler(env, registry, interval=1.0)
+        busy = {"seconds": 0.0}
+        sampler.add_rate_probe("cpu", lambda: busy["seconds"])
+        # Warm-up accumulates busy time before sampling starts.
+        busy["seconds"] = 42.0
+        sampler.resync()
+        sampler.start()
+        env.run(until=1.5)
+        # Without resync the first sample would read 42 busy-seconds.
+        assert [v for _, v in registry.get("cpu").points] == [0.0]
+
+    def test_final_sample_covers_partial_interval(self, env, registry):
+        sampler = TimelineSampler(env, registry, interval=10.0)
+        busy = {"seconds": 0.0}
+        sampler.add_rate_probe("cpu", lambda: busy["seconds"])
+        sampler.start()
+        busy["seconds"] = 0.5
+        env.run(until=2.0)  # run ends before the first 10 s tick
+        sampler.final_sample()
+        timeline = registry.get("cpu")
+        # One sample over the 2 s partial window: 0.5 / 2.0 busy.
+        assert [v for _, v in timeline.points] == [pytest.approx(0.25)]
+        # Nothing elapsed since: a second call is a no-op.
+        sampler.final_sample()
+        assert len(timeline) == 1

@@ -1,0 +1,186 @@
+"""Unit tests for query trace spans, plus the export replay check.
+
+The last test is the acceptance check for the span subsystem: run a
+traced machine, dump the spans to JSONL, read them back, and verify
+every trace replays as a well-nested tree.
+"""
+
+import pytest
+
+from repro.core import RangeStrategy
+from repro.des import Environment
+from repro.gamma import GammaMachine
+from repro.obs import (
+    SPAN_KIND,
+    SpanLog,
+    Telemetry,
+    build_span_forest,
+    load_jsonl,
+    span_records,
+    validate_span_forest,
+    write_spans_jsonl,
+)
+from repro.storage import make_wisconsin
+from repro.workload import make_mix
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def log(env):
+    return SpanLog(env)
+
+
+class TestQueryTrace:
+    def test_root_span_opened_on_begin(self, log):
+        trace = log.begin(1, "QA")
+        assert trace.root.name == "query"
+        assert trace.root.parent_id is None
+        assert trace.open_spans == 1
+        assert log.lookup(1) is trace
+
+    def test_duplicate_begin_rejected(self, log):
+        log.begin(1, "QA")
+        with pytest.raises(ValueError):
+            log.begin(1, "QA")
+
+    def test_child_defaults_to_root_parent(self, log):
+        trace = log.begin(1, "QA")
+        child = trace.start("plan")
+        assert child.parent_id == trace.root.span_id
+        grandchild = trace.start("select.site", parent=child, node=3)
+        assert grandchild.parent_id == child.span_id
+        assert grandchild.attrs["node"] == 3
+
+    def test_spans_emitted_only_on_finish(self, env, log):
+        trace = log.begin(1, "QA")
+        child = trace.start("plan")
+        assert log.span_count() == 0
+        trace.finish(child, sites=2)
+        assert log.span_count() == 1
+        entry = next(log.entries())
+        assert entry.kind == SPAN_KIND
+        assert entry.details["name"] == "plan"
+        assert entry.details["sites"] == 2
+
+    def test_end_closes_root_and_retires(self, env, log):
+        log.begin(7, "QB")
+        env.run(until=2.0)
+        log.end(7)
+        assert log.lookup(7) is None
+        assert log.finished == 1
+        record = next(iter(span_records(log)))
+        assert record["name"] == "query"
+        assert record["start"] == 0.0
+        assert record["end"] == 2.0
+
+    def test_resource_leaf_interval_and_aggregate(self, env, log):
+        trace = log.begin(1, "QA")
+        env.run(until=1.0)
+        trace.resource(trace.root, "node.disk", wait=0.3, service=0.5,
+                       pages=2)
+        record = next(iter(span_records(log)))
+        assert record["start"] == pytest.approx(0.2)
+        assert record["end"] == pytest.approx(1.0)
+        assert record["wait"] == pytest.approx(0.3)
+        assert record["service"] == pytest.approx(0.5)
+        wait, service, count = log.resource_totals["QA"]["node.disk"]
+        assert (wait, service, count) == (pytest.approx(0.3),
+                                          pytest.approx(0.5), 1)
+
+    def test_flush_truncates_in_flight_traces(self, env, log):
+        trace = log.begin(1, "QA")
+        site = trace.start("select.site")
+        env.run(until=3.0)
+        assert log.flush() == 1
+        assert log.truncated == 1
+        assert log.lookup(1) is None
+        records = list(span_records(log))
+        assert all(r["truncated"] for r in records)
+        assert validate_span_forest(records) == []
+        assert {r["name"] for r in records} == {"query", "select.site"}
+        assert site.span_id in {r["span"] for r in records}
+
+    def test_reset_drops_history_keeps_active(self, env, log):
+        trace = log.begin(1, "QA")
+        trace.resource(trace.root, "node.cpu", wait=0.0, service=0.1)
+        log.reset()
+        assert log.span_count() == 0
+        assert log.resource_totals == {}
+        # The in-flight trace survives a window reset and can finish.
+        assert log.lookup(1) is trace
+        log.end(1)
+        assert log.span_count() == 1
+
+
+class TestForestValidation:
+    def test_detects_missing_parent(self):
+        records = [
+            {"trace": 1, "span": 0, "parent": None, "start": 0.0, "end": 2.0},
+            {"trace": 1, "span": 5, "parent": 3, "start": 0.5, "end": 1.0},
+        ]
+        errors = validate_span_forest(records)
+        assert any("missing parent" in e for e in errors)
+
+    def test_detects_escaping_child(self):
+        records = [
+            {"trace": 1, "span": 0, "parent": None, "start": 0.0, "end": 1.0},
+            {"trace": 1, "span": 1, "parent": 0, "start": 0.5, "end": 1.5},
+        ]
+        errors = validate_span_forest(records)
+        assert any("escapes parent" in e for e in errors)
+
+    def test_detects_multiple_roots(self):
+        records = [
+            {"trace": 1, "span": 0, "parent": None, "start": 0.0, "end": 1.0},
+            {"trace": 1, "span": 1, "parent": None, "start": 0.0, "end": 1.0},
+        ]
+        errors = validate_span_forest(records)
+        assert any("2 root spans" in e for e in errors)
+
+    def test_accepts_well_nested_tree(self):
+        records = [
+            {"trace": 1, "span": 0, "parent": None, "start": 0.0, "end": 2.0},
+            {"trace": 1, "span": 1, "parent": 0, "start": 0.1, "end": 1.0},
+            {"trace": 1, "span": 2, "parent": 1, "start": 0.2, "end": 0.9},
+        ]
+        assert validate_span_forest(records) == []
+
+
+class TestMachineExportReplay:
+    def test_traced_run_exports_well_nested_trees(self, tmp_path):
+        relation = make_wisconsin(10_000, correlation="low", seed=70)
+        placement = RangeStrategy("unique1").partition(relation, 4)
+        telemetry = Telemetry()
+        machine = GammaMachine(placement,
+                               indexes={"unique1": False, "unique2": True},
+                               seed=3, telemetry=telemetry)
+        machine.run(make_mix("low-low", domain=10_000),
+                    multiprogramming_level=4, measured_queries=80)
+
+        path = tmp_path / "spans.jsonl"
+        written = write_spans_jsonl(telemetry.spans, str(path))
+        records = load_jsonl(str(path))
+        assert written == len(records) > 0
+        assert validate_span_forest(records) == []
+
+        forest = build_span_forest(records)
+        # Plenty of queries measured; each trace has one root named
+        # "query" carrying the query type.
+        assert len(forest) >= 80
+        for spans in forest.values():
+            roots = [s for s in spans.values() if s["parent"] is None]
+            assert len(roots) == 1
+            assert roots[0]["name"] == "query"
+            assert roots[0]["qtype"] in {"QA", "QB"}
+        # Resource leaves carry the wait/service split.
+        leaves = [r for r in records if "resource" in r]
+        assert leaves
+        assert all(r["wait"] >= 0 and r["service"] >= 0 for r in leaves)
+        labels = {r["resource"] for r in leaves}
+        assert "node.cpu" in labels
+        assert "node.disk" in labels
+        assert "sched.cpu" in labels

@@ -1,0 +1,70 @@
+"""Unit tests for the "why" table and resource breakdowns."""
+
+import pytest
+
+from repro.des import Environment
+from repro.obs import (
+    SpanLog,
+    dominant_resource,
+    resource_breakdown,
+    why_table,
+)
+
+
+@pytest.fixture
+def log():
+    return SpanLog(Environment())
+
+
+def _record(log, qtype, resource, wait, service, times=1):
+    trace = log.lookup(hash(qtype) % 1000)
+    if trace is None:
+        trace = log.begin(hash(qtype) % 1000, qtype)
+    for _ in range(times):
+        trace.resource(trace.root, resource, wait, service)
+
+
+class TestResourceBreakdown:
+    def test_sorted_by_attributed_time(self, log):
+        _record(log, "QA", "node.cpu", wait=0.1, service=0.1)
+        _record(log, "QA", "node.disk", wait=0.5, service=0.5)
+        rows = resource_breakdown(log)["QA"]
+        assert [r[0] for r in rows] == ["node.disk", "node.cpu"]
+        resource, wait, service, count = rows[0]
+        assert wait == pytest.approx(0.5)
+        assert service == pytest.approx(0.5)
+        assert count == 1
+
+    def test_counts_accumulate(self, log):
+        _record(log, "QB", "sched.cpu", wait=0.0, service=0.01, times=3)
+        rows = resource_breakdown(log)["QB"]
+        assert rows[0][3] == 3
+
+    def test_dominant_resource(self, log):
+        _record(log, "QA", "node.cpu", wait=0.0, service=1.0)
+        _record(log, "QA", "node.disk", wait=0.0, service=0.1)
+        assert dominant_resource(log, "QA") == "node.cpu"
+        assert dominant_resource(log, "QZ") is None
+
+
+class TestWhyTable:
+    def test_empty_log_message(self, log):
+        assert "no spans recorded" in why_table(log)
+
+    def test_contains_rows_and_shares(self, log):
+        _record(log, "QA", "node.cpu", wait=0.25, service=0.75)
+        text = why_table(log)
+        assert "query type QA" in text
+        assert "node.cpu" in text
+        assert "100.0%" in text
+        assert "wait s" in text
+
+    def test_top_k_folds_tail_into_other(self, log):
+        for i in range(4):
+            _record(log, "QA", f"resource.{i}", wait=0.0, service=1.0 + i)
+        text = why_table(log, top_k=2)
+        assert "(other)" in text
+        # Only the two largest resources get their own row.
+        assert "resource.3" in text
+        assert "resource.2" in text
+        assert "resource.0" not in text
