@@ -1,0 +1,106 @@
+"""Parallel-executor speedup: fig-8a serial vs. ``--jobs 2`` / ``--jobs 4``.
+
+Writes ``BENCH_parallel_speedup.json`` next to the repo root so future
+changes can track what the process-pool executor buys.  The acceptance
+bar is a >= 1.3x wall-time speedup at ``--jobs 4`` -- *on a machine
+with at least 4 usable cores*.  The grid is embarrassingly parallel
+(9 independent simulations), so the bound is conservative; on a box
+with fewer cores the workers time-slice one another, no speedup is
+physically available, and the assertion is skipped (the artifact is
+still written, with the core count recorded, so CI runners with real
+parallelism enforce the bar).
+
+Determinism is asserted unconditionally: whatever the speedup, every
+parallel run must reproduce the serial throughputs bit for bit.
+
+Run directly (``python benchmarks/test_parallel_speedup.py``) or via
+pytest (``pytest benchmarks/test_parallel_speedup.py``).
+"""
+
+import json
+import os
+import time
+
+from repro.experiments import FIGURES, run_experiment
+from repro.experiments.plan import clear_memos
+
+MPLS = (1, 16, 64)
+MEASURED = 250
+CARDINALITY = 100_000
+PROCESSORS = 32
+JOBS_SWEPT = (1, 2, 4)
+SPEEDUP_FLOOR = 1.3
+OUTPUT = os.path.join(os.path.dirname(__file__), os.pardir,
+                      "BENCH_parallel_speedup.json")
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _time_run(jobs):
+    # Fresh per-process memos so every configuration pays the same
+    # relation/placement build cost inside its timed window.
+    clear_memos()
+    started = time.perf_counter()
+    result = run_experiment(FIGURES["8a"], cardinality=CARDINALITY,
+                            num_sites=PROCESSORS,
+                            measured_queries=MEASURED, mpls=MPLS,
+                            seed=13, jobs=jobs)
+    return time.perf_counter() - started, result
+
+
+def measure():
+    walls, results = {}, {}
+    for jobs in JOBS_SWEPT:
+        walls[jobs], results[jobs] = _time_run(jobs)
+    serial = results[1]
+    identical = all(
+        results[jobs].throughput_at(strategy, mpl)
+        == serial.throughput_at(strategy, mpl)
+        for jobs in JOBS_SWEPT[1:]
+        for strategy in serial.series
+        for mpl in MPLS)
+    cores = _usable_cores()
+    return {
+        "benchmark": "fig-8a regeneration, serial vs process-pool "
+                     "(3 MPL points x 3 strategies)",
+        "mpls": list(MPLS),
+        "measured_queries": MEASURED,
+        "usable_cores": cores,
+        "wall_seconds": {f"jobs{jobs}": round(walls[jobs], 3)
+                         for jobs in JOBS_SWEPT},
+        "sim_seconds": {f"jobs{jobs}": round(results[jobs].cpu_seconds, 3)
+                        for jobs in JOBS_SWEPT},
+        "speedup": {f"jobs{jobs}": round(walls[1] / walls[jobs], 3)
+                    for jobs in JOBS_SWEPT[1:]},
+        "bit_identical_to_serial": identical,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "speedup_asserted": cores >= 4,
+    }
+
+
+def test_parallel_speedup():
+    report = measure()
+    with open(OUTPUT, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    assert report["bit_identical_to_serial"], \
+        "parallel execution must reproduce serial results bit for bit"
+    if report["speedup_asserted"]:
+        assert report["speedup"]["jobs4"] > SPEEDUP_FLOOR, (
+            f"expected > {SPEEDUP_FLOOR}x wall-time speedup at jobs=4 on "
+            f"{report['usable_cores']} cores, got "
+            f"{report['speedup']['jobs4']}x")
+    else:
+        print(f"(only {report['usable_cores']} usable core(s): speedup "
+              f"floor not asserted, artifact recorded)")
+
+
+if __name__ == "__main__":
+    test_parallel_speedup()
+    print(f"wrote {os.path.abspath(OUTPUT)}")

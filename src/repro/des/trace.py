@@ -68,6 +68,20 @@ class Tracer:
         self._kind_counts[kind] += 1
         return entry
 
+    def detach(self) -> "Tracer":
+        """Drop the environment reference (picklable, read-only log).
+
+        Recorded entries survive; :meth:`record` must not be called on
+        a detached tracer.
+        """
+        self.env = None
+        return self
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["env"] = None
+        return state
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -3,8 +3,15 @@
 * :mod:`~repro.experiments.config` -- one :class:`ExperimentConfig` per
   figure (8a/8b, 9, 10a/10b, 11a/11b, 12a/12b) with the paper's
   directory shapes and expected outcomes;
+* :mod:`~repro.experiments.plan` -- the declarative job layer: frozen
+  :class:`RunSpec` points, :class:`RunPlan` batches, and the one
+  :func:`execute_run` every entry point funnels through;
+* :mod:`~repro.experiments.executor` -- serial and process-pool plan
+  executors (``--jobs N``, bit-identical to serial);
+* :mod:`~repro.experiments.cache` -- the content-addressed result
+  cache that makes interrupted sweeps resumable (``--cache DIR``);
 * :mod:`~repro.experiments.runner` -- strategy x mix x correlation x MPL
-  sweeps on the Gamma machine model;
+  figure sweeps on the Gamma machine model;
 * :mod:`~repro.experiments.report` -- text tables, §7 processor-count
   numbers, the §4 rebalancing worst case;
 * :mod:`~repro.experiments.cli` -- the ``repro-experiments`` command.
@@ -24,7 +31,25 @@ from .results_io import (
     load_figure_json,
     save_figure_json,
 )
+from .cache import ResultCache
 from .config import ATTR_A, ATTR_B, DEFAULT_MPLS, ExperimentConfig, FIGURES
+from .executor import (
+    ExecutionOutcome,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from .plan import (
+    PAPER_INDEXES,
+    PlannedRun,
+    RunPlan,
+    RunSpec,
+    build_strategy,
+    compile_figure,
+    compile_point,
+    execute_run,
+    params_fingerprint,
+)
 from .report import (
     average_processors_table,
     format_figure,
@@ -35,9 +60,7 @@ from .sweeps import AXES, SweepAxis, SweepPoint, SweepResult, sweep
 from .explain import ExplainResult, explain_figure
 from .runner import (
     FigureResult,
-    PAPER_INDEXES,
     TelemetryFactory,
-    build_strategy,
     check_expectation,
     run_experiment,
 )
@@ -48,6 +71,18 @@ __all__ = [
     "DEFAULT_MPLS",
     "ATTR_A",
     "ATTR_B",
+    "RunSpec",
+    "PlannedRun",
+    "RunPlan",
+    "compile_figure",
+    "compile_point",
+    "execute_run",
+    "params_fingerprint",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "ExecutionOutcome",
+    "make_executor",
+    "ResultCache",
     "FigureResult",
     "PAPER_INDEXES",
     "build_strategy",

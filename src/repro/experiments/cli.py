@@ -4,6 +4,10 @@ Examples::
 
     repro-experiments --figure 8a                # one figure, full sweep
     repro-experiments --all --quick              # every figure, small runs
+    repro-experiments --figure 8a --jobs 4       # grid on 4 worker processes
+    repro-experiments --figure 8a --cache runs/cache
+                                                 # resumable: re-runs load
+                                                 # completed points from disk
     repro-experiments --processors               # §7 processor counts
     repro-experiments --rebalance                # §4 worst-case heuristic
     repro-experiments --explain 8a               # traced re-run: where did
@@ -18,6 +22,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .cache import ResultCache
 from .config import FIGURES
 from .plot import plot_figure
 from .report import (
@@ -61,6 +66,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="regenerate every figure")
     parser.add_argument("--quick", action="store_true",
                         help="smaller sweeps for a fast smoke run")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for figure/sweep/explain "
+                             "grids (default: 1 = serial; results are "
+                             "bit-identical at any N)")
+    parser.add_argument("--cache", metavar="DIR",
+                        help="content-addressed result cache: completed "
+                             "(strategy, MPL, seed, ...) points are loaded "
+                             "from DIR instead of re-simulated, and new "
+                             "points are stored there, so interrupted "
+                             "sweeps resume")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache (force fresh simulation)")
     parser.add_argument("--processors", action="store_true",
                         help="print the per-figure average-processor table")
     parser.add_argument("--rebalance", action="store_true",
@@ -106,19 +123,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _telemetry_sink(args):
-    """A (factory, telemetries) pair when --trace/--metrics-out is on."""
+def _cache_from_args(args) -> Optional[ResultCache]:
+    if args.no_cache or not args.cache:
+        return None
+    return ResultCache(args.cache)
+
+
+def _telemetry_spec(args):
+    """The picklable telemetry recipe when --trace/--metrics-out is on."""
     if not (args.trace or args.metrics_out):
-        return None, {}
-    from ..obs import Telemetry
-    telemetries = {}
-
-    def factory(strategy: str, mpl: int) -> Telemetry:
-        telemetry = Telemetry()
-        telemetries[(strategy, mpl)] = telemetry
-        return telemetry
-
-    return factory, telemetries
+        return None
+    from ..obs import TelemetrySpec
+    return TelemetrySpec()
 
 
 def _export_run_artifacts(out_dir: str, figure: str, telemetries) -> List[str]:
@@ -142,6 +158,15 @@ def _export_run_artifacts(out_dir: str, figure: str, telemetries) -> List[str]:
     return notes
 
 
+def _execution_note(result) -> str:
+    """One line of execution accounting for a figure run."""
+    return (f"(wall time {result.wall_seconds:.1f}s, "
+            f"sim time {result.cpu_seconds:.1f}s, "
+            f"jobs {result.jobs}; "
+            f"{result.executed_runs} simulated, "
+            f"{result.cached_runs} from cache)")
+
+
 def _run_figures(names: List[str], args) -> List[str]:
     blocks = []
     if args.mpls:
@@ -149,17 +174,18 @@ def _run_figures(names: List[str], args) -> List[str]:
     else:
         mpls = QUICK_MPLS if args.quick else None
     measured = QUICK_MEASURED if args.quick else args.measured
+    cache = _cache_from_args(args)
+    telemetry_spec = _telemetry_spec(args)
     for name in names:
         config = FIGURES[name]
-        factory, telemetries = _telemetry_sink(args)
         result = run_experiment(
             config, cardinality=args.cardinality, num_sites=args.num_sites,
             measured_queries=measured, mpls=mpls, seed=args.seed,
-            telemetry_factory=factory)
+            jobs=args.jobs, cache=cache, telemetry_spec=telemetry_spec)
         blocks.append(format_figure(result))
         if args.metrics_out:
             blocks += _export_run_artifacts(args.metrics_out, name,
-                                            telemetries)
+                                            result.telemetries)
         if args.plot:
             blocks.append("")
             blocks.append(plot_figure(result))
@@ -169,7 +195,7 @@ def _run_figures(names: List[str], args) -> List[str]:
             path = os.path.join(args.save_json, f"figure_{name}.json")
             save_figure_json(result, path)
             blocks.append(f"(saved {path})")
-        blocks.append(f"(wall time {result.wall_seconds:.1f}s)")
+        blocks.append(_execution_note(result))
         blocks.append("")
     return blocks
 
@@ -209,7 +235,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = sweep(args.sweep, values, figure=args.sweep_figure,
                        measured_queries=(QUICK_MEASURED if args.quick
                                          else args.measured),
-                       seed=args.seed)
+                       seed=args.seed, jobs=args.jobs,
+                       cache=_cache_from_args(args))
         out.append(f"Sweep over {result.axis} (figure {result.figure}, "
                    f"MPL {result.multiprogramming_level}):")
         strategies = sorted({p.strategy for p in result.points})
@@ -221,6 +248,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             for s in strategies:
                 row += f"{series[s].get(value, float('nan')):12.1f}"
             out.append(row)
+        out.append(f"(jobs {result.jobs}; {result.executed_runs} simulated, "
+                   f"{result.cached_runs} from cache)")
         did_something = True
     if args.explain:
         from .explain import explain_figure
@@ -229,7 +258,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             cardinality=args.cardinality, num_sites=args.num_sites,
             measured_queries=(QUICK_MEASURED if args.quick
                               else min(args.measured, 200)),
-            seed=args.seed)
+            seed=args.seed, jobs=args.jobs)
         out.append(explained.render())
         did_something = True
     if args.report:

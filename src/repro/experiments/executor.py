@@ -1,0 +1,165 @@
+"""Pluggable execution backends for :class:`~repro.experiments.plan.RunPlan`.
+
+Two executors share one contract: given a plan, return one
+:class:`ExecutionOutcome` per planned run, *in plan order*, consulting
+an optional :class:`~repro.experiments.cache.ResultCache` before
+simulating anything.
+
+* :class:`SerialExecutor` runs everything in-process -- the historical
+  behavior, and the reference the parallel backend is tested
+  bit-identical against.
+* :class:`ParallelExecutor` fans the plan out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` (``--jobs N`` on the
+  CLI).  Workers rebuild relations and placements locally through the
+  per-process memos in :mod:`~repro.experiments.plan`, so a
+  5-strategy x 7-MPL figure builds each placement once per worker, not
+  35 times.  Determinism is structural: every seed derives from the
+  :class:`~repro.experiments.plan.RunSpec`, never from worker state.
+
+Telemetry under parallelism works by shipping a picklable
+:class:`~repro.obs.telemetry.TelemetrySpec` *to* the worker (which
+constructs the live object locally) and a detached, environment-free
+telemetry snapshot *back*.  Cache lookups are skipped whenever
+telemetry is requested -- a cached result has no spans to return -- but
+freshly traced results are still written through to the cache.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..gamma import RunResult, SimulationParameters
+from ..obs import Telemetry, TelemetrySpec
+from .cache import ResultCache
+from .plan import PlannedRun, RunPlan, RunSpec, execute_run
+
+__all__ = ["ExecutionOutcome", "SerialExecutor", "ParallelExecutor",
+           "make_executor", "TelemetryProvider"]
+
+#: Serial-only hook: builds (or declines to build) telemetry for one spec.
+TelemetryProvider = Callable[[RunSpec], Optional[Telemetry]]
+
+
+@dataclass
+class ExecutionOutcome:
+    """One executed (or cache-satisfied) planned run."""
+
+    spec: RunSpec
+    result: RunResult
+    #: Wall seconds this simulation took wherever it ran (0.0 if cached).
+    wall_seconds: float = 0.0
+    #: True when the result was loaded from the cache, not simulated.
+    cached: bool = False
+    #: Detached telemetry snapshot, when tracing was requested.
+    telemetry: Optional[Telemetry] = None
+
+
+def _run_one(planned: PlannedRun,
+             telemetry: Optional[Telemetry]) -> Tuple[RunResult, float]:
+    started = time.perf_counter()
+    result = execute_run(planned.spec, planned.params, telemetry=telemetry)
+    return result, time.perf_counter() - started
+
+
+def _worker_execute(planned: PlannedRun,
+                    telemetry_spec: Optional[TelemetrySpec]):
+    """Top-level worker entry point (must be picklable by name)."""
+    telemetry = telemetry_spec.build() if telemetry_spec is not None else None
+    result, wall = _run_one(planned, telemetry)
+    if telemetry is not None:
+        telemetry.detach()
+    return result, wall, telemetry
+
+
+class SerialExecutor:
+    """Runs a plan in-process, one simulation at a time."""
+
+    name = "serial"
+    jobs = 1
+
+    def execute(self, plan: RunPlan,
+                cache: Optional[ResultCache] = None,
+                telemetry_spec: Optional[TelemetrySpec] = None,
+                telemetry_provider: Optional[TelemetryProvider] = None,
+                ) -> List[ExecutionOutcome]:
+        outcomes: List[ExecutionOutcome] = []
+        for planned in plan:
+            telemetry = None
+            if telemetry_provider is not None:
+                telemetry = telemetry_provider(planned.spec)
+            elif telemetry_spec is not None:
+                telemetry = telemetry_spec.build()
+            tracing = telemetry is not None
+            if cache is not None and not tracing:
+                hit = cache.get(planned.spec)
+                if hit is not None:
+                    outcomes.append(ExecutionOutcome(
+                        spec=planned.spec, result=hit, cached=True))
+                    continue
+            result, wall = _run_one(planned, telemetry)
+            if cache is not None:
+                cache.put(planned.spec, result, executor=self.name,
+                          jobs=self.jobs)
+            outcomes.append(ExecutionOutcome(
+                spec=planned.spec, result=result, wall_seconds=wall,
+                telemetry=telemetry))
+        return outcomes
+
+
+class ParallelExecutor:
+    """Fans a plan out over a process pool (``--jobs N``)."""
+
+    name = "process-pool"
+
+    def __init__(self, jobs: int):
+        if jobs < 2:
+            raise ValueError(f"ParallelExecutor needs jobs >= 2, got {jobs}")
+        self.jobs = jobs
+
+    def execute(self, plan: RunPlan,
+                cache: Optional[ResultCache] = None,
+                telemetry_spec: Optional[TelemetrySpec] = None,
+                telemetry_provider: Optional[TelemetryProvider] = None,
+                ) -> List[ExecutionOutcome]:
+        if telemetry_provider is not None:
+            raise ValueError(
+                "telemetry providers hold live objects and cannot cross "
+                "process boundaries; pass a TelemetrySpec instead")
+        outcomes: List[Optional[ExecutionOutcome]] = [None] * len(plan)
+        pending: List[Tuple[int, PlannedRun]] = []
+        tracing = telemetry_spec is not None
+        for index, planned in enumerate(plan):
+            hit = (cache.get(planned.spec)
+                   if cache is not None and not tracing else None)
+            if hit is not None:
+                outcomes[index] = ExecutionOutcome(
+                    spec=planned.spec, result=hit, cached=True)
+            else:
+                pending.append((index, planned))
+
+        if pending:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                futures = [
+                    (index, planned,
+                     pool.submit(_worker_execute, planned, telemetry_spec))
+                    for index, planned in pending
+                ]
+                for index, planned, future in futures:
+                    result, wall, telemetry = future.result()
+                    if cache is not None:
+                        cache.put(planned.spec, result, executor=self.name,
+                                  jobs=self.jobs)
+                    outcomes[index] = ExecutionOutcome(
+                        spec=planned.spec, result=result, wall_seconds=wall,
+                        telemetry=telemetry)
+        return [outcome for outcome in outcomes if outcome is not None]
+
+
+def make_executor(jobs: int = 1):
+    """The executor for a requested parallelism level."""
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return SerialExecutor() if jobs == 1 else ParallelExecutor(jobs)

@@ -3,21 +3,22 @@
 The paper's §7 explains each figure by naming the saturated resource
 (MAGIC's scheduler CPU at high multiprogramming levels, BERD's
 sequential auxiliary probe, range's full-broadcast disk load).  This
-module re-runs a single (figure, MPL) point per strategy with telemetry
-enabled and prints the per-query-type resource breakdown -- the
-measured version of that narrative.
+module compiles a single (figure, MPL) point per strategy into a
+:class:`~repro.experiments.plan.RunPlan`, executes it with telemetry
+enabled (optionally on a process pool -- the workers return detached
+telemetry snapshots) and prints the per-query-type resource breakdown
+-- the measured version of that narrative.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..gamma import GAMMA_PARAMETERS, GammaMachine, SimulationParameters
-from ..obs import Telemetry, dominant_resource, why_table
-from ..storage import make_wisconsin
-from ..workload import make_mix
+from ..gamma import GAMMA_PARAMETERS, SimulationParameters
+from ..obs import Telemetry, TelemetrySpec, dominant_resource, why_table
 from .config import FIGURES
-from .runner import PAPER_INDEXES, build_strategy
+from .executor import make_executor
+from .plan import compile_figure
 
 __all__ = ["explain_figure", "ExplainResult"]
 
@@ -85,25 +86,19 @@ def explain_figure(figure: str, mpl: int = 64,
                    measured_queries: int = 200, seed: int = 13,
                    params: SimulationParameters = GAMMA_PARAMETERS,
                    strategies: Optional[Sequence[str]] = None,
-                   ) -> ExplainResult:
+                   jobs: int = 1) -> ExplainResult:
     """Re-run one (figure, MPL) point per strategy with tracing on."""
     config = FIGURES[figure]
-    strategies = tuple(strategies if strategies is not None
-                       else config.strategies)
-    relation = make_wisconsin(cardinality, correlation=config.correlation,
-                              seed=seed)
-    mix = make_mix(config.mix_name, domain=cardinality)
+    plan = compile_figure(config, cardinality=cardinality,
+                          num_sites=num_sites,
+                          measured_queries=measured_queries,
+                          mpls=(mpl,), seed=seed, params=params,
+                          strategies=strategies)
+    outcomes = make_executor(jobs).execute(
+        plan, telemetry_spec=TelemetrySpec())
 
     result = ExplainResult(figure, mpl)
-    for name in strategies:
-        strategy = build_strategy(name, config, cardinality, params)
-        placement = strategy.partition(relation, num_sites)
-        telemetry = Telemetry()
-        machine = GammaMachine(placement, indexes=PAPER_INDEXES,
-                               params=params, seed=seed,
-                               telemetry=telemetry)
-        result.run_results[name] = machine.run(
-            mix, multiprogramming_level=mpl,
-            measured_queries=measured_queries)
-        result.telemetry[name] = telemetry
+    for outcome in outcomes:
+        result.run_results[outcome.spec.strategy] = outcome.result
+        result.telemetry[outcome.spec.strategy] = outcome.telemetry
     return result

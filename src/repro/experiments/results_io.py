@@ -4,6 +4,13 @@ Long sweeps are expensive; this module lets the harness save every
 :class:`~repro.gamma.metrics.RunResult` of a figure and reload it later
 for reporting, plotting or regression comparison, with a round-trip
 guarantee tested in the suite.
+
+Format version 2 additionally records how the figure was *executed* --
+the executor backend, parallelism level, wall vs. summed simulation
+seconds, cache hit counts -- and the content digest of every run's
+:class:`~repro.experiments.plan.RunSpec`, so an artifact point can be
+matched against the result cache that produced it.  Version-1 files
+(pre-plan-layer) still load, with the execution metadata defaulted.
 """
 
 from __future__ import annotations
@@ -11,8 +18,7 @@ from __future__ import annotations
 import csv
 import io
 import json
-from dataclasses import asdict
-from typing import Dict, List
+from typing import Dict
 
 from ..gamma.metrics import RunResult
 from .config import FIGURES, ExperimentConfig
@@ -27,7 +33,10 @@ __all__ = [
 ]
 
 #: Format identifier embedded in saved files.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Older formats :func:`figure_from_dict` still understands.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def figure_to_dict(result: FigureResult) -> Dict:
@@ -40,8 +49,17 @@ def figure_to_dict(result: FigureResult) -> Dict:
         "num_sites": result.num_sites,
         "measured_queries": result.measured_queries,
         "wall_seconds": result.wall_seconds,
+        "cpu_seconds": result.cpu_seconds,
+        "executor": {
+            "name": result.executor,
+            "jobs": result.jobs,
+            "executed_runs": result.executed_runs,
+            "cached_runs": result.cached_runs,
+        },
+        "spec_digests": {name: list(digests)
+                         for name, digests in result.spec_digests.items()},
         "series": {
-            name: [asdict(run) for run in runs]
+            name: [run.to_json_dict() for run in runs]
             for name, runs in result.series.items()
         },
     }
@@ -54,7 +72,7 @@ def figure_from_dict(payload: Dict) -> FigureResult:
     so loaded results carry their expectations for re-checking.
     """
     version = payload.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported results format {version!r}")
     figure = payload["figure"]
     try:
@@ -62,17 +80,27 @@ def figure_from_dict(payload: Dict) -> FigureResult:
     except KeyError:
         raise ValueError(f"unknown figure {figure!r} in results file") \
             from None
+    executor = payload.get("executor", {})
     result = FigureResult(
         config=config,
         cardinality=payload["cardinality"],
         num_sites=payload["num_sites"],
         measured_queries=payload["measured_queries"],
         wall_seconds=payload.get("wall_seconds", 0.0),
+        cpu_seconds=payload.get("cpu_seconds", 0.0),
+        jobs=executor.get("jobs", 1),
+        executor=executor.get("name", "serial"),
+        executed_runs=executor.get("executed_runs", 0),
+        cached_runs=executor.get("cached_runs", 0),
+        spec_digests={name: list(digests)
+                      for name, digests
+                      in payload.get("spec_digests", {}).items()},
         # Files written before the seed echo existed load as seed 13,
         # the harness-wide default they were in fact produced with.
         seed=payload.get("seed", 13))
     for name, runs in payload["series"].items():
-        result.series[name] = [RunResult(**run) for run in runs]
+        result.series[name] = [RunResult.from_json_dict(run)
+                               for run in runs]
     return result
 
 

@@ -1,10 +1,14 @@
-"""Experiment runner: strategy x mix x correlation x MPL sweeps.
+"""Figure regeneration: a thin consumer of the run-plan layer.
 
 Regenerates the throughput-vs-multiprogramming-level series behind every
-figure of the paper's evaluation.  Placements are built once per
-(strategy, correlation) and reused across the MPL sweep (as in the
+figure of the paper's evaluation.  :func:`run_experiment` compiles the
+(strategy x MPL) grid into a :class:`~repro.experiments.plan.RunPlan`,
+hands it to a serial or process-pool executor (``jobs``), and reshapes
+the outcomes into the per-strategy series the reports and plots expect.
+Placements are built once per (strategy, correlation) per process --
+the plan layer's memo -- and reused across the MPL sweep, as in the
 paper: the relation is declustered once, then measured under different
-loads).
+loads.
 """
 
 from __future__ import annotations
@@ -13,28 +17,20 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core import (
-    BerdStrategy,
-    HashStrategy,
-    MagicStrategy,
-    MagicTuning,
-    Placement,
-    RangeStrategy,
-)
-from ..gamma import GAMMA_PARAMETERS, GammaMachine, RunResult, SimulationParameters
-from ..obs import Telemetry
-from ..storage import make_wisconsin
-from ..workload import cost_model_for_mix, make_mix
-from .config import ATTR_A, ATTR_B, ExperimentConfig
+from ..gamma import GAMMA_PARAMETERS, RunResult, SimulationParameters
+from ..obs import Telemetry, TelemetrySpec
+from .cache import ResultCache
+from .config import ExperimentConfig
+from .executor import make_executor
+from .plan import PAPER_INDEXES, build_strategy, compile_figure
 
 __all__ = ["FigureResult", "TelemetryFactory", "build_strategy",
-           "run_experiment", "check_expectation"]
-
-#: Indexes of §6: non-clustered on A, clustered on B.
-PAPER_INDEXES = {ATTR_A: False, ATTR_B: True}
+           "run_experiment", "check_expectation", "PAPER_INDEXES"]
 
 #: Called once per (strategy, MPL) run; returns the run's Telemetry
-#: (or None to run without instrumentation).
+#: (or None to run without instrumentation).  Serial-only: live
+#: telemetry objects cannot cross process boundaries -- pass a
+#: :class:`~repro.obs.telemetry.TelemetrySpec` instead under ``jobs``.
 TelemetryFactory = Callable[[str, int], Optional[Telemetry]]
 
 
@@ -47,10 +43,32 @@ class FigureResult:
     num_sites: int
     measured_queries: int
     series: Dict[str, List[RunResult]] = field(default_factory=dict)
+    #: Wall-clock seconds the whole figure took end to end.  Under a
+    #: parallel executor this is what the user waited, NOT the work
+    #: done -- see :attr:`cpu_seconds`.
     wall_seconds: float = 0.0
+    #: Summed per-run simulation wall seconds across all executed
+    #: points, wherever they ran.  Serial: ~= wall_seconds.  Parallel:
+    #: the aggregate compute; wall_seconds / cpu_seconds ~ speedup.
+    cpu_seconds: float = 0.0
+    #: Parallelism level the figure was executed with.
+    jobs: int = 1
+    #: Executor backend name ("serial" / "process-pool").
+    executor: str = "serial"
+    #: Points simulated fresh vs. loaded from the result cache.
+    executed_runs: int = 0
+    cached_runs: int = 0
     #: Root seed the runs were generated with; echoed into every saved
     #: results file so a figure is reproducible from the artifact alone.
     seed: int = 13
+    #: Per-strategy content digests of each run's RunSpec, in MPL
+    #: order; echoed into artifacts so a saved point can be matched
+    #: against the cache that produced it.
+    spec_digests: Dict[str, List[str]] = field(default_factory=dict)
+    #: (strategy, mpl) -> detached telemetry, when tracing was on.
+    #: Excluded from serialization (live measurement artifacts).
+    telemetries: Dict[Tuple[str, int], Telemetry] = field(
+        default_factory=dict, repr=False, compare=False)
 
     def throughput_at(self, strategy: str, mpl: int) -> float:
         for result in self.series[strategy]:
@@ -64,33 +82,6 @@ class FigureResult:
                 for name, runs in self.series.items()}
 
 
-def build_strategy(name: str, config: ExperimentConfig,
-                   cardinality: int,
-                   params: SimulationParameters = GAMMA_PARAMETERS):
-    """Instantiate a declustering strategy by experiment name.
-
-    ``magic`` pins the paper-reported directory shape and M_i values;
-    ``magic-derived`` lets the cost model (fed by the analytic workload
-    profiles) choose everything, the fully self-contained pipeline.
-    """
-    if name == "range":
-        return RangeStrategy(ATTR_A)
-    if name == "hash":
-        return HashStrategy(ATTR_A)
-    if name == "berd":
-        return BerdStrategy(ATTR_A, [ATTR_B])
-    if name == "magic":
-        return MagicStrategy(
-            [ATTR_A, ATTR_B],
-            tuning=MagicTuning(shape=dict(config.magic_shape),
-                               mi=dict(config.magic_mi)))
-    if name == "magic-derived":
-        mix = make_mix(config.mix_name, domain=cardinality)
-        model = cost_model_for_mix(mix, params, cardinality)
-        return MagicStrategy([ATTR_A, ATTR_B], cost_model=model)
-    raise ValueError(f"unknown strategy {name!r}")
-
-
 def run_experiment(config: ExperimentConfig,
                    cardinality: int = 100_000,
                    num_sites: int = 32,
@@ -100,37 +91,56 @@ def run_experiment(config: ExperimentConfig,
                    params: SimulationParameters = GAMMA_PARAMETERS,
                    strategies: Optional[Sequence[str]] = None,
                    telemetry_factory: Optional[TelemetryFactory] = None,
+                   jobs: int = 1,
+                   cache: Optional[ResultCache] = None,
+                   telemetry_spec: Optional[TelemetrySpec] = None,
                    ) -> FigureResult:
     """Regenerate one figure; returns every (strategy, MPL) run result.
 
-    ``telemetry_factory(strategy, mpl)``, when given, supplies a fresh
-    :class:`~repro.obs.Telemetry` per machine run (each simulation gets
-    its own environment, so telemetry objects cannot be shared).
+    ``jobs`` > 1 executes the grid on a process pool with bit-identical
+    results (every seed derives from the run's spec).  ``cache`` makes
+    the figure resumable: completed points are loaded, missing ones
+    simulated and stored.  ``telemetry_spec`` collects per-run
+    telemetry under any executor; ``telemetry_factory(strategy, mpl)``
+    is the legacy serial-only hook for callers that hold on to the live
+    objects themselves.
     """
+    if telemetry_factory is not None and jobs != 1:
+        raise ValueError(
+            "telemetry_factory is serial-only (live telemetry cannot "
+            "cross processes); use telemetry_spec with jobs > 1")
     started = time.time()
-    mpls = tuple(mpls if mpls is not None else config.mpls)
-    strategies = tuple(strategies if strategies is not None
-                       else config.strategies)
-    relation = make_wisconsin(cardinality, correlation=config.correlation,
-                              seed=seed)
-    mix = make_mix(config.mix_name, domain=cardinality)
+    plan = compile_figure(config, cardinality=cardinality,
+                          num_sites=num_sites,
+                          measured_queries=measured_queries, mpls=mpls,
+                          seed=seed, params=params, strategies=strategies)
+    executor = make_executor(jobs)
+    provider = None
+    if telemetry_factory is not None:
+        provider = lambda spec: telemetry_factory(
+            spec.strategy, spec.multiprogramming_level)
+    outcomes = executor.execute(plan, cache=cache,
+                                telemetry_spec=telemetry_spec,
+                                telemetry_provider=provider)
 
     result = FigureResult(config=config, cardinality=cardinality,
                           num_sites=num_sites,
-                          measured_queries=measured_queries, seed=seed)
-    for name in strategies:
-        strategy = build_strategy(name, config, cardinality, params)
-        placement = strategy.partition(relation, num_sites)
-        runs: List[RunResult] = []
-        for mpl in mpls:
-            telemetry = (telemetry_factory(name, mpl)
-                         if telemetry_factory else None)
-            machine = GammaMachine(placement, indexes=PAPER_INDEXES,
-                                   params=params, seed=seed,
-                                   telemetry=telemetry)
-            runs.append(machine.run(mix, multiprogramming_level=mpl,
-                                    measured_queries=measured_queries))
-        result.series[name] = runs
+                          measured_queries=measured_queries, seed=seed,
+                          jobs=executor.jobs, executor=executor.name)
+    for outcome in outcomes:
+        spec = outcome.spec
+        result.series.setdefault(spec.strategy, []).append(outcome.result)
+        result.spec_digests.setdefault(spec.strategy, []).append(
+            spec.digest())
+        if outcome.cached:
+            result.cached_runs += 1
+        else:
+            result.executed_runs += 1
+        result.cpu_seconds += outcome.wall_seconds
+        if outcome.telemetry is not None:
+            result.telemetries[(spec.strategy,
+                                spec.multiprogramming_level)] = \
+                outcome.telemetry
     result.wall_seconds = time.time() - started
     return result
 

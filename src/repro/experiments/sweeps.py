@@ -3,8 +3,10 @@
 Beyond the figure regeneration (fixed Table 2 parameters, MPL on the
 x-axis), a systems study wants sensitivity analyses: how does the
 comparison move when a hardware or workload parameter changes?
-:func:`sweep` runs a (strategy x value) grid over any knob expressible
-as a :class:`SweepAxis` and returns a tidy result table.
+:func:`sweep` compiles a (strategy x value) grid over any knob
+expressible as a :class:`SweepAxis` into a
+:class:`~repro.experiments.plan.RunPlan`, executes it on a serial or
+process-pool backend (``jobs``), and returns a tidy result table.
 
 Built-in axes cover the sweeps the extension benchmarks use:
 machine size, QB selectivity, attribute correlation, buffer-pool size
@@ -16,11 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..gamma import GAMMA_PARAMETERS, GammaMachine, RunResult, SimulationParameters
-from ..storage import make_wisconsin
-from ..workload import make_mix
-from .config import ATTR_A, ATTR_B, ExperimentConfig, FIGURES
-from .runner import PAPER_INDEXES, build_strategy
+from ..gamma import GAMMA_PARAMETERS, RunResult, SimulationParameters
+from .cache import ResultCache
+from .config import ExperimentConfig, FIGURES
+from .executor import make_executor
+from .plan import RunPlan, compile_point, execute_run
 
 __all__ = ["SweepAxis", "SweepPoint", "SweepResult", "sweep",
            "AXES"]
@@ -84,6 +86,11 @@ class SweepResult:
     figure: str
     multiprogramming_level: int
     points: List[SweepPoint] = field(default_factory=list)
+    #: Aggregate execution accounting (mirrors FigureResult semantics).
+    cpu_seconds: float = 0.0
+    jobs: int = 1
+    executed_runs: int = 0
+    cached_runs: int = 0
 
     def series(self, strategy: str) -> List[Tuple[float, float]]:
         """(value, throughput) pairs of one strategy, in sweep order."""
@@ -108,16 +115,13 @@ def run_point(config: ExperimentConfig, strategy_name: str,
               params: SimulationParameters = GAMMA_PARAMETERS,
               seed: int = 13) -> RunResult:
     """One simulation run with arbitrary overrides."""
-    corr = correlation if correlation is not None else config.correlation
-    relation = make_wisconsin(cardinality, correlation=corr, seed=seed)
-    mix = make_mix(config.mix_name, domain=cardinality,
-                   qb_low_tuples=qb_low_tuples)
-    strategy = build_strategy(strategy_name, config, cardinality, params)
-    placement = strategy.partition(relation, num_sites)
-    machine = GammaMachine(placement, indexes=PAPER_INDEXES, params=params,
-                           seed=seed)
-    return machine.run(mix, multiprogramming_level=multiprogramming_level,
-                       measured_queries=measured_queries)
+    planned = compile_point(
+        config, strategy_name,
+        multiprogramming_level=multiprogramming_level,
+        cardinality=cardinality, num_sites=num_sites,
+        measured_queries=measured_queries, correlation=correlation,
+        qb_low_tuples=qb_low_tuples, params=params, seed=seed)
+    return execute_run(planned.spec, planned.params, config=config)
 
 
 def sweep(axis: str, values: Sequence[float],
@@ -126,7 +130,9 @@ def sweep(axis: str, values: Sequence[float],
           multiprogramming_level: int = 32,
           cardinality: int = 100_000,
           measured_queries: int = 250,
-          seed: int = 13) -> SweepResult:
+          seed: int = 13,
+          jobs: int = 1,
+          cache: Optional[ResultCache] = None) -> SweepResult:
     """Run a (strategy x value) grid along one named axis."""
     try:
         sweep_axis = AXES[axis]
@@ -134,16 +140,31 @@ def sweep(axis: str, values: Sequence[float],
         raise ValueError(
             f"unknown axis {axis!r}; available: {sorted(AXES)}") from None
     config = FIGURES[figure]
-    result = SweepResult(axis=axis, figure=figure,
-                         multiprogramming_level=multiprogramming_level)
+    labels: List[Tuple[float, str]] = []
+    runs = []
     for value in values:
         overrides = sweep_axis.apply(value)
         for name in strategies:
-            run = run_point(config, name,
-                            multiprogramming_level=multiprogramming_level,
-                            cardinality=cardinality,
-                            measured_queries=measured_queries,
-                            seed=seed, **overrides)
-            result.points.append(SweepPoint(strategy=name, value=value,
-                                            result=run))
+            runs.append(compile_point(
+                config, name,
+                multiprogramming_level=multiprogramming_level,
+                cardinality=cardinality,
+                measured_queries=measured_queries,
+                seed=seed, **overrides))
+            labels.append((value, name))
+
+    executor = make_executor(jobs)
+    outcomes = executor.execute(RunPlan(runs=tuple(runs)), cache=cache)
+
+    result = SweepResult(axis=axis, figure=figure,
+                         multiprogramming_level=multiprogramming_level,
+                         jobs=executor.jobs)
+    for (value, name), outcome in zip(labels, outcomes):
+        result.points.append(SweepPoint(strategy=name, value=value,
+                                        result=outcome.result))
+        result.cpu_seconds += outcome.wall_seconds
+        if outcome.cached:
+            result.cached_runs += 1
+        else:
+            result.executed_runs += 1
     return result

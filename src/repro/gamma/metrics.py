@@ -9,7 +9,7 @@ utilizations, which §7 uses to explain each result.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..des import Environment, Event, TallyMonitor
@@ -125,6 +125,21 @@ class RunResult:
     messages_sent: int = 0
     #: 95% batch-means confidence half-width on the throughput.
     throughput_ci: float = 0.0
+
+    def to_json_dict(self) -> Dict:
+        """A JSON-serializable dictionary that round-trips losslessly.
+
+        Results cross process boundaries (parallel executors pickle
+        them) and session boundaries (the result cache and saved figure
+        artifacts store them as JSON); both transports must reproduce
+        the dataclass exactly, NaN confidence intervals included.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict) -> "RunResult":
+        """Rebuild a result from :meth:`to_json_dict` output."""
+        return cls(**payload)
 
     def __str__(self) -> str:
         by_type = ", ".join(f"{k}={v * 1000:.1f}ms"

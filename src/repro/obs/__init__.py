@@ -43,10 +43,11 @@ from .registry import (
 from .sampler import TimelineSampler
 from .spans import SPAN_KIND, QueryTrace, Span, SpanLog
 from .summary import dominant_resource, resource_breakdown, why_table
-from .telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
+from .telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry, TelemetrySpec
 
 __all__ = [
     "Telemetry",
+    "TelemetrySpec",
     "NullTelemetry",
     "NULL_TELEMETRY",
     "MetricsRegistry",

@@ -168,6 +168,26 @@ class SpanLog:
         self.truncated += flushed
         return flushed
 
+    # -- snapshotting ------------------------------------------------------
+
+    def detach(self) -> "SpanLog":
+        """Drop environment references (picklable, read-only snapshot).
+
+        Finished spans, aggregates and counters survive; traces still
+        active (there should be none after :meth:`flush`) are dropped,
+        as their open spans reference the live environment.
+        """
+        self.env = None
+        self.active.clear()
+        self.tracer.detach()
+        return self
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["env"] = None
+        state["active"] = {}
+        return state
+
     # -- storage ---------------------------------------------------------
 
     def _emit(self, trace: QueryTrace, span: Span, start: float,

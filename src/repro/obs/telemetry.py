@@ -15,6 +15,7 @@ to exactly one environment (one run).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 from ..des.environment import Environment
@@ -22,7 +23,28 @@ from .registry import MetricsRegistry, NULL_REGISTRY, NullRegistry
 from .sampler import TimelineSampler
 from .spans import QueryTrace, SpanLog
 
-__all__ = ["Telemetry", "NullTelemetry", "NULL_TELEMETRY"]
+__all__ = ["Telemetry", "TelemetrySpec", "NullTelemetry", "NULL_TELEMETRY"]
+
+
+@dataclass(frozen=True)
+class TelemetrySpec:
+    """A picklable recipe for constructing one run's :class:`Telemetry`.
+
+    Live telemetry objects are bound to a simulation environment and
+    cannot cross process boundaries; parallel executors instead ship
+    this spec to each worker, which calls :meth:`build` locally and
+    returns a :meth:`Telemetry.detach`-ed snapshot.  The spec mirrors
+    the ``Telemetry()`` constructor arguments exactly.
+    """
+
+    trace: bool = True
+    timeline_interval: float = 0.5
+    span_capacity: int = 200_000
+
+    def build(self) -> "Telemetry":
+        return Telemetry(trace=self.trace,
+                         timeline_interval=self.timeline_interval,
+                         span_capacity=self.span_capacity)
 
 
 class Telemetry:
@@ -86,6 +108,29 @@ class Telemetry:
             self.spans.flush()
         if self.sampler is not None and self.sampler.started:
             self.sampler.final_sample()
+
+    def detach(self) -> "Telemetry":
+        """Freeze this telemetry into an environment-free snapshot.
+
+        Collected data (registry instruments, timelines, finished
+        spans, aggregates) is kept; the references into the simulation
+        -- environment, sampler closures -- are dropped, making the
+        object picklable.  A detached telemetry is read-only: call it
+        only after the run it instrumented has finished.
+        """
+        self.env = None
+        self.sampler = None
+        if self.spans is not None:
+            self.spans.detach()
+        return self
+
+    def __getstate__(self):
+        """Pickle as a detached snapshot (the sampler holds closures
+        over live machine resources and never crosses processes)."""
+        state = self.__dict__.copy()
+        state["env"] = None
+        state["sampler"] = None
+        return state
 
     # -- hot-path hooks ------------------------------------------------------
 

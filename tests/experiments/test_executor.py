@@ -1,0 +1,215 @@
+"""Tests for plan executors and the resumable result cache.
+
+The determinism test is the contract ``--jobs N`` rests on: a parallel
+run of the fig-8a smoke config must be *bit-identical* to serial,
+because every seed derives from the RunSpec, never from worker state.
+"""
+
+import json
+import math
+import os
+import pickle
+
+import pytest
+
+from repro.experiments import (
+    FIGURES,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    compile_figure,
+    compile_point,
+    figure_to_dict,
+    make_executor,
+    run_experiment,
+)
+from repro.obs import Telemetry, TelemetrySpec
+
+#: The fig-8a smoke configuration the determinism guarantee is stated on.
+SMOKE = dict(cardinality=10_000, num_sites=4, measured_queries=30,
+             mpls=(1, 4), seed=5)
+
+
+def _series_payload(result):
+    """A figure's series as canonical JSON (NaN-tolerant bit comparison)."""
+    return json.dumps(
+        {name: [run.to_json_dict() for run in runs]
+         for name, runs in result.series.items()},
+        sort_keys=True)
+
+
+class TestMakeExecutor:
+    def test_serial_for_one_job(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+
+    def test_parallel_for_many(self):
+        executor = make_executor(3)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.jobs == 3
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            make_executor(0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(1)
+
+
+class TestParallelDeterminism:
+    def test_jobs4_bit_identical_to_serial(self):
+        serial = run_experiment(FIGURES["8a"], **SMOKE)
+        parallel = run_experiment(FIGURES["8a"], jobs=4, **SMOKE)
+        assert _series_payload(serial) == _series_payload(parallel)
+        assert parallel.jobs == 4
+        assert parallel.executor == "process-pool"
+        assert serial.spec_digests == parallel.spec_digests
+
+    def test_outcomes_arrive_in_plan_order(self):
+        plan = compile_figure(FIGURES["8a"], cardinality=8_000, num_sites=4,
+                              measured_queries=20, mpls=(1, 2), seed=5)
+        outcomes = ParallelExecutor(jobs=2).execute(plan)
+        assert [o.spec for o in outcomes] == plan.specs()
+
+    def test_live_telemetry_provider_rejected(self):
+        plan = compile_figure(FIGURES["8a"], cardinality=8_000, num_sites=4,
+                              measured_queries=10, mpls=(1,), seed=5)
+        with pytest.raises(ValueError, match="process boundaries"):
+            ParallelExecutor(jobs=2).execute(
+                plan, telemetry_provider=lambda spec: Telemetry())
+
+    def test_parallel_telemetry_spec_returns_snapshots(self):
+        plan = compile_figure(FIGURES["8a"], cardinality=8_000, num_sites=4,
+                              measured_queries=20, mpls=(2,), seed=5,
+                              strategies=("range",))
+        (outcome,) = ParallelExecutor(jobs=2).execute(
+            plan, telemetry_spec=TelemetrySpec())
+        assert outcome.telemetry is not None
+        assert outcome.telemetry.env is None  # detached snapshot
+        assert outcome.telemetry.spans.span_count() > 0
+        # Snapshots survive a further pickle round trip.
+        clone = pickle.loads(pickle.dumps(outcome.telemetry))
+        assert clone.spans.span_count() == \
+            outcome.telemetry.spans.span_count()
+
+
+class TestWallAndCpuSeconds:
+    def test_serial_accounting(self):
+        result = run_experiment(FIGURES["8a"], **SMOKE)
+        assert result.cpu_seconds > 0
+        assert result.wall_seconds >= result.cpu_seconds * 0.5
+        assert result.executed_runs == 6
+        assert result.cached_runs == 0
+
+    def test_jobs_echoed_into_saved_json(self):
+        result = run_experiment(FIGURES["8a"], jobs=2, **SMOKE)
+        payload = figure_to_dict(result)
+        assert payload["executor"]["jobs"] == 2
+        assert payload["executor"]["name"] == "process-pool"
+        assert payload["cpu_seconds"] > 0
+        assert payload["wall_seconds"] > 0
+
+
+class TestResultCache:
+    def _planned(self, **overrides):
+        kwargs = dict(multiprogramming_level=2, cardinality=8_000,
+                      num_sites=4, measured_queries=20, seed=5)
+        kwargs.update(overrides)
+        return compile_point(FIGURES["8a"], "range", **kwargs)
+
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        (outcome,) = SerialExecutor().execute(
+            compile_figure(FIGURES["8a"], cardinality=8_000, num_sites=4,
+                           measured_queries=20, mpls=(2,), seed=5,
+                           strategies=("range",)), cache=cache)
+        assert not outcome.cached
+        restored = cache.get(outcome.spec)
+        assert restored == outcome.result
+        assert cache.hits == 1
+
+    def test_miss_on_unknown_spec(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.get(self._planned().spec) is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_counts_as_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        plan = compile_figure(FIGURES["8a"], cardinality=8_000, num_sites=4,
+                              measured_queries=20, mpls=(2,), seed=5,
+                              strategies=("range",))
+        SerialExecutor().execute(plan, cache=cache)
+        path = cache.path_for(plan.specs()[0])
+        with open(path, "w") as handle:
+            handle.write("{ truncated")
+        assert cache.get(plan.specs()[0]) is None
+
+    def test_interrupted_sweep_resumes(self, tmp_path):
+        """A killed run's completed points are skipped on re-run."""
+        cache = ResultCache(str(tmp_path))
+        first = run_experiment(FIGURES["8a"], cache=cache, **SMOKE)
+        assert first.executed_runs == 6
+        assert len(cache) == 6
+        # Simulate a partially-complete cache: drop one entry.
+        os.unlink(cache.path_for(compile_point(
+            FIGURES["8a"], "magic", multiprogramming_level=4,
+            cardinality=SMOKE["cardinality"], num_sites=SMOKE["num_sites"],
+            measured_queries=SMOKE["measured_queries"],
+            seed=SMOKE["seed"]).spec))
+        second = run_experiment(FIGURES["8a"], cache=cache, **SMOKE)
+        assert second.executed_runs == 1
+        assert second.cached_runs == 5
+        assert _series_payload(first) == _series_payload(second)
+
+    def test_parallel_run_resumes_from_serial_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        serial = run_experiment(FIGURES["8a"], cache=cache, **SMOKE)
+        parallel = run_experiment(FIGURES["8a"], cache=cache, jobs=2,
+                                  **SMOKE)
+        assert parallel.executed_runs == 0
+        assert parallel.cached_runs == 6
+        assert _series_payload(serial) == _series_payload(parallel)
+
+    def test_traced_runs_bypass_cache_reads(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        plan = compile_figure(FIGURES["8a"], cardinality=8_000, num_sites=4,
+                              measured_queries=20, mpls=(2,), seed=5,
+                              strategies=("range",))
+        SerialExecutor().execute(plan, cache=cache)
+        (outcome,) = SerialExecutor().execute(
+            plan, cache=cache, telemetry_spec=TelemetrySpec())
+        # Tracing needs a live simulation: the hit must not short-circuit.
+        assert not outcome.cached
+        assert outcome.telemetry is not None
+
+    def test_different_measured_queries_do_not_alias(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        a = self._planned(measured_queries=20)
+        b = self._planned(measured_queries=30)
+        assert a.spec.digest() != b.spec.digest()
+        assert cache.path_for(a.spec) != cache.path_for(b.spec)
+
+
+class TestRunResultRoundTrip:
+    """RunResult must cross pickle (executors) and JSON (cache) losslessly."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        planned = compile_point(FIGURES["8a"], "range",
+                                multiprogramming_level=2,
+                                cardinality=8_000, num_sites=4,
+                                measured_queries=20, seed=5)
+        from repro.experiments import execute_run
+        return execute_run(planned.spec, planned.params)
+
+    def test_pickle_round_trip(self, result):
+        assert pickle.loads(pickle.dumps(result)) == result
+
+    def test_json_round_trip(self, result):
+        from repro.gamma import RunResult
+        payload = json.loads(json.dumps(result.to_json_dict()))
+        restored = RunResult.from_json_dict(payload)
+        for field, value in result.to_json_dict().items():
+            other = getattr(restored, field)
+            if isinstance(value, float) and math.isnan(value):
+                assert math.isnan(other)
+            else:
+                assert other == value

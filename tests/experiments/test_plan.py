@@ -1,0 +1,120 @@
+"""Tests for the declarative run-plan layer."""
+
+import pickle
+
+import pytest
+
+from repro.experiments import (
+    FIGURES,
+    PlannedRun,
+    RunSpec,
+    compile_figure,
+    compile_point,
+    execute_run,
+    params_fingerprint,
+)
+from repro.experiments.plan import clear_memos
+from repro.experiments.sweeps import run_point
+from repro.gamma import GAMMA_PARAMETERS
+
+
+def _spec(**overrides):
+    base = dict(figure="8a", strategy="range", cardinality=10_000,
+                correlation="low", num_sites=4, multiprogramming_level=2,
+                measured_queries=20, seed=5, mix_name="low-low")
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+class TestRunSpec:
+    def test_frozen_and_hashable(self):
+        spec = _spec()
+        with pytest.raises(AttributeError):
+            spec.seed = 7
+        assert spec in {spec}
+        assert spec == _spec()
+
+    def test_picklable(self):
+        spec = _spec()
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_digest_stable(self):
+        assert _spec().digest() == _spec().digest()
+        assert len(_spec().digest()) == 64
+
+    def test_digest_sensitive_to_every_field(self):
+        base = _spec().digest()
+        variants = [
+            _spec(strategy="magic"), _spec(cardinality=20_000),
+            _spec(correlation="high"), _spec(num_sites=8),
+            _spec(multiprogramming_level=4), _spec(measured_queries=40),
+            _spec(seed=6), _spec(mix_name="low-moderate"),
+            _spec(qb_low_tuples=20), _spec(params_digest="deadbeef"),
+        ]
+        digests = {base} | {v.digest() for v in variants}
+        assert len(digests) == len(variants) + 1
+
+    def test_machine_seed_derives_from_spec(self):
+        assert _spec(seed=41).machine_seed == 41
+
+
+class TestParamsFingerprint:
+    def test_equal_params_fingerprint_identically(self):
+        assert params_fingerprint(GAMMA_PARAMETERS) == \
+            params_fingerprint(GAMMA_PARAMETERS.with_overrides())
+
+    def test_changed_knob_changes_fingerprint(self):
+        faster = GAMMA_PARAMETERS.with_overrides(
+            cpu_instructions_per_second=6_000_000.0)
+        assert params_fingerprint(faster) != \
+            params_fingerprint(GAMMA_PARAMETERS)
+
+
+class TestCompile:
+    def test_figure_grid_strategy_major(self):
+        plan = compile_figure(FIGURES["8a"], mpls=(1, 8), seed=5)
+        keys = [(run.spec.strategy, run.spec.multiprogramming_level)
+                for run in plan]
+        assert keys == [("range", 1), ("range", 8), ("berd", 1),
+                        ("berd", 8), ("magic", 1), ("magic", 8)]
+        assert len(plan) == 6
+        assert len(set(plan.digests())) == 6
+
+    def test_point_applies_overrides(self):
+        planned = compile_point(FIGURES["8a"], "berd",
+                                multiprogramming_level=4,
+                                correlation=1.0, qb_low_tuples=20,
+                                num_sites=8)
+        assert planned.spec.correlation == 1.0
+        assert planned.spec.qb_low_tuples == 20
+        assert planned.spec.num_sites == 8
+        assert planned.spec.params_digest == \
+            params_fingerprint(GAMMA_PARAMETERS)
+
+    def test_point_defaults_to_config_correlation(self):
+        planned = compile_point(FIGURES["8b"], "range",
+                                multiprogramming_level=1)
+        assert planned.spec.correlation == "high"
+
+
+class TestExecuteRun:
+    def test_matches_run_point(self):
+        spec_kwargs = dict(multiprogramming_level=2, cardinality=8_000,
+                           num_sites=4, measured_queries=20, seed=5)
+        planned = compile_point(FIGURES["8a"], "range", **spec_kwargs)
+        direct = execute_run(planned.spec, planned.params)
+        via_run_point = run_point(FIGURES["8a"], "range", **spec_kwargs)
+        assert direct == via_run_point
+
+    def test_memo_reuse_is_result_invariant(self):
+        planned = compile_point(FIGURES["8a"], "magic",
+                                multiprogramming_level=2,
+                                cardinality=8_000, num_sites=4,
+                                measured_queries=20, seed=5)
+        warm = execute_run(planned.spec, planned.params)
+        clear_memos()
+        cold = execute_run(planned.spec, planned.params)
+        assert warm == cold
+
+    def test_planned_run_defaults_params(self):
+        assert PlannedRun(spec=_spec()).params == GAMMA_PARAMETERS

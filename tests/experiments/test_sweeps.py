@@ -11,10 +11,40 @@ SMALL = dict(cardinality=10_000, measured_queries=50,
              multiprogramming_level=8)
 
 
+#: One representative value per built-in axis, for apply() coverage.
+AXIS_SAMPLES = {
+    "processors": 4,
+    "qb_selectivity": 12,
+    "correlation": 0.5,
+    "buffer_pool": 64,
+    "cpu_mips": 6_000_000,
+}
+
+
 class TestAxes:
     def test_builtin_axes_present(self):
         assert {"processors", "qb_selectivity", "correlation",
                 "buffer_pool", "cpu_mips"} <= set(AXES)
+
+    def test_every_axis_sampled(self):
+        # Keep AXIS_SAMPLES in sync when adding an axis.
+        assert set(AXIS_SAMPLES) == set(AXES)
+
+    @pytest.mark.parametrize("axis_name", sorted(AXES))
+    def test_apply_overrides_accepted_by_run_point(self, axis_name):
+        overrides = AXES[axis_name].apply(AXIS_SAMPLES[axis_name])
+        assert set(overrides) <= {"params", "correlation",
+                                  "qb_low_tuples", "num_sites"}
+        kwargs = dict(cardinality=4_000, measured_queries=15, num_sites=4)
+        kwargs.update(overrides)
+        run = run_point(FIGURES["8a"], "range", multiprogramming_level=2,
+                        **kwargs)
+        assert run.completed == 15
+        assert run.throughput > 0
+
+    def test_every_axis_described(self):
+        for axis in AXES.values():
+            assert axis.description
 
     def test_unknown_axis_rejected(self):
         with pytest.raises(ValueError, match="unknown axis"):
@@ -60,6 +90,28 @@ class TestSweep:
         result = sweep("buffer_pool", [0, 256], figure="8a",
                        strategies=("range",), **SMALL)
         assert len(result.points) == 2
+
+    def test_parallel_sweep_matches_serial(self, processors_sweep):
+        parallel = sweep("processors", [4, 8], figure="8a",
+                         strategies=("range", "magic"), jobs=2, **SMALL)
+        assert parallel.jobs == 2
+        assert [(p.strategy, p.value, p.result)
+                for p in parallel.points] == \
+            [(p.strategy, p.value, p.result)
+             for p in processors_sweep.points]
+
+    def test_sweep_resumes_from_cache(self, tmp_path):
+        from repro.experiments import ResultCache
+        cache = ResultCache(str(tmp_path))
+        first = sweep("processors", [4, 8], figure="8a",
+                      strategies=("range", "magic"), cache=cache, **SMALL)
+        assert first.executed_runs == 4
+        second = sweep("processors", [4, 8], figure="8a",
+                       strategies=("range", "magic"), cache=cache, **SMALL)
+        assert second.executed_runs == 0
+        assert second.cached_runs == 4
+        assert [p.result for p in second.points] == \
+            [p.result for p in first.points]
 
 
 class TestRunPoint:

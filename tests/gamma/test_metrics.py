@@ -128,3 +128,46 @@ class TestRunResult:
         assert "MPL=  8" in text
         assert "123.4" in text
         assert "QA" in text
+
+
+class TestRunResultRoundTrip:
+    """Results cross process (pickle) and artifact (JSON) boundaries."""
+
+    def _result(self, **overrides):
+        import math
+        fields = dict(multiprogramming_level=8, throughput=123.456789,
+                      completed=100, elapsed_seconds=1.25,
+                      response_time_mean=0.0521,
+                      response_time_by_type={"QA": 0.04, "QB": 0.065},
+                      cpu_utilization=0.61, disk_utilization=0.44,
+                      scheduler_cpu_utilization=0.08, messages_sent=4200,
+                      throughput_ci=3.21)
+        fields.update(overrides)
+        return RunResult(**fields)
+
+    def test_pickle_lossless(self):
+        import pickle
+        result = self._result()
+        assert pickle.loads(pickle.dumps(result)) == result
+
+    def test_json_dict_lossless(self):
+        import json
+        result = self._result()
+        payload = json.loads(json.dumps(result.to_json_dict()))
+        assert RunResult.from_json_dict(payload) == result
+
+    def test_nan_confidence_interval_survives_json(self):
+        # Short windows report NaN CIs; NaN != NaN, so check explicitly.
+        import json
+        import math
+        result = self._result(throughput_ci=float("nan"))
+        payload = json.loads(json.dumps(result.to_json_dict()))
+        restored = RunResult.from_json_dict(payload)
+        assert math.isnan(restored.throughput_ci)
+        assert restored.throughput == result.throughput
+
+    def test_pickle_preserves_dataclass_type(self):
+        import pickle
+        restored = pickle.loads(pickle.dumps(self._result()))
+        assert isinstance(restored, RunResult)
+        assert restored.response_time_by_type == {"QA": 0.04, "QB": 0.065}

@@ -103,3 +103,55 @@ class TestMachineIntegration:
         usage = machine.resource_usage()
         assert usage["node.0.cpu.busy_seconds"] > 0
         assert usage["sched.cpu.busy_seconds"] > 0
+
+
+class TestTelemetrySpec:
+    def test_build_mirrors_constructor(self):
+        from repro.obs import TelemetrySpec
+        spec = TelemetrySpec(trace=False, timeline_interval=0.25,
+                             span_capacity=1_000)
+        telemetry = spec.build()
+        telemetry.bind(Environment())
+        assert telemetry.spans is None  # trace=False
+        assert telemetry.timeline_interval == 0.25
+        assert telemetry.span_capacity == 1_000
+
+    def test_spec_is_picklable(self):
+        import pickle
+
+        from repro.obs import TelemetrySpec
+        spec = TelemetrySpec()
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_detached_telemetry_pickles_with_data(self):
+        import pickle
+
+        from repro.obs import why_table
+        telemetry = Telemetry()
+        machine = _machine(telemetry)
+        machine.run(make_mix("low-low", domain=10_000),
+                    multiprogramming_level=4, measured_queries=40)
+        telemetry.detach()
+        assert telemetry.env is None
+        assert telemetry.sampler is None
+        clone = pickle.loads(pickle.dumps(telemetry))
+        # Collected data survives the round trip...
+        assert clone.spans.span_count() == telemetry.spans.span_count()
+        assert clone.spans.resource_totals == telemetry.spans.resource_totals
+        assert "query type" in why_table(clone.spans)
+        # ...including registry instruments and timelines.
+        completed = clone.registry.get("sched.queries.completed")
+        assert completed.value == 40
+
+    def test_undetached_telemetry_still_pickles(self):
+        # __getstate__ strips the environment and sampler even when the
+        # caller forgot to detach (the pickle is a snapshot either way).
+        import pickle
+        telemetry = Telemetry()
+        machine = _machine(telemetry)
+        machine.run(make_mix("low-low", domain=10_000),
+                    multiprogramming_level=2, measured_queries=20)
+        clone = pickle.loads(pickle.dumps(telemetry))
+        assert clone.env is None
+        assert clone.sampler is None
+        assert clone.spans.span_count() == telemetry.spans.span_count()
