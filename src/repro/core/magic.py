@@ -27,7 +27,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..storage.relation import Relation
-from .assignment import assign_entries
+from .assignment import assign_entries, factor_slice_targets
 from .cost_model import MagicCostModel
 from .directory import GridDirectory
 from .gridfile import build_equal_width, build_from_shape, build_gridfile
@@ -78,12 +78,24 @@ class MagicTuning:
 
 
 class MagicPlacement(Placement):
-    """A relation declustered by MAGIC, with its grid directory."""
+    """A relation declustered by MAGIC, with its grid directory.
+
+    ``slice_targets`` and ``mi`` echo what the assignment heuristic
+    aimed for -- the integer per-dimension slice targets derived by
+    ``factor_slice_targets`` and the ideal (fractional) M_i values they
+    came from.  Both are ``None`` when the placement took the
+    small-directory identity path (§3.4), where no target applies.
+    The audit layer compares achieved slice spread against them.
+    """
 
     def __init__(self, relation: Relation, fragments,
-                 directory: GridDirectory):
+                 directory: GridDirectory,
+                 slice_targets: Optional[Dict[str, int]] = None,
+                 mi: Optional[Dict[str, float]] = None):
         super().__init__(relation, fragments)
         self.directory = directory
+        self.slice_targets = dict(slice_targets) if slice_targets else None
+        self.mi = dict(mi) if mi else None
 
     def route(self, predicate: RangePredicate) -> RoutingDecision:
         if predicate.attribute not in self.directory.attributes:
@@ -201,13 +213,16 @@ class MagicStrategy(DeclusteringStrategy):
             raise ValueError(f"num_sites must be positive, got {num_sites}")
         directory = self.build_directory(relation)
 
+        mi = self._resolve_mi()
+        targets: Optional[Tuple[int, ...]] = None
         if directory.num_entries <= num_sites:
             # §3.4: few fragments -> one processor each.
             assignment = np.arange(
                 directory.num_entries, dtype=np.int64).reshape(directory.shape)
         else:
-            assignment = assign_entries(
-                directory.shape, self._resolve_mi(), num_sites)
+            if len(directory.shape) > 1:
+                targets = factor_slice_targets(mi, num_sites)
+            assignment = assign_entries(directory.shape, mi, num_sites)
         directory.set_assignment(assignment)
         rebalance_assignment(directory, num_sites,
                              max_iterations=self.tuning.rebalance_iterations)
@@ -221,7 +236,11 @@ class MagicStrategy(DeclusteringStrategy):
                     diversity_slack=self.tuning.entry_exchange_slack)
 
         fragments = self._materialize_fragments(relation, directory, num_sites)
-        return MagicPlacement(relation, fragments, directory)
+        return MagicPlacement(
+            relation, fragments, directory,
+            slice_targets=(dict(zip(self.attributes, targets))
+                           if targets is not None else None),
+            mi=dict(zip(self.attributes, mi)))
 
     def _materialize_fragments(self, relation: Relation,
                                directory: GridDirectory, num_sites: int):

@@ -14,7 +14,12 @@
   figure sweeps on the Gamma machine model;
 * :mod:`~repro.experiments.report` -- text tables, §7 processor-count
   numbers, the §4 rebalancing worst case;
-* :mod:`~repro.experiments.cli` -- the ``repro-experiments`` command.
+* :mod:`~repro.experiments.audit_report` -- placement-quality audit
+  reports (markdown + self-contained HTML) fusing the static
+  :mod:`repro.obs.audit` metrics with runtime telemetry;
+* :mod:`~repro.experiments.cli` -- the ``repro-experiments`` command;
+* :mod:`~repro.experiments.audit_cli` -- the offline ``repro-audit``
+  command (cached results in, reports out, zero simulation).
 """
 
 from .markdown import (
@@ -57,6 +62,15 @@ from .report import (
     rebalance_worst_case,
 )
 from .sweeps import AXES, SweepAxis, SweepPoint, SweepResult, sweep
+from .audit_report import (
+    AuditReport,
+    audit_payload,
+    build_audit_report,
+    build_static_report,
+    render_html,
+    render_markdown,
+    write_report,
+)
 from .explain import ExplainResult, explain_figure
 from .runner import (
     FigureResult,
@@ -111,4 +125,11 @@ __all__ = [
     "ExplainResult",
     "explain_figure",
     "TelemetryFactory",
+    "AuditReport",
+    "build_audit_report",
+    "build_static_report",
+    "audit_payload",
+    "render_markdown",
+    "render_html",
+    "write_report",
 ]

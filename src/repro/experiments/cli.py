@@ -14,6 +14,9 @@ Examples::
                                                  # each query type's time go?
     repro-experiments --figure 8a --trace --metrics-out runs/8a
                                                  # span/metric artifacts
+    repro-experiments --figure 8a --audit        # placement-quality audit
+                                                 # report (md + HTML) next
+                                                 # to the figure run
 """
 
 from __future__ import annotations
@@ -96,6 +99,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--explain-mpl", type=int, default=64,
                         help="multiprogramming level for --explain "
                              "(default: 64)")
+    parser.add_argument("--explain-top-k", type=int, default=5,
+                        metavar="K",
+                        help="rows per query type in the --explain "
+                             "why-table (default: 5)")
+    parser.add_argument("--audit", action="store_true",
+                        help="run the placement-quality audit after each "
+                             "figure: heat maps, skew, M_i slice spread, "
+                             "per-query fan-out, rendered as markdown + "
+                             "HTML (simulated results are untouched)")
+    parser.add_argument("--audit-out", metavar="DIR",
+                        help="directory for audit_<figure>.{md,html} "
+                             "(default: audit-reports; implies --audit)")
+    parser.add_argument("--audit-samples", type=int, default=400,
+                        metavar="N",
+                        help="sampled predicates per query type in the "
+                             "audit (default: 400)")
     parser.add_argument("--mpls", metavar="M1,M2,...", type=_mpl_list,
                         help="override the multiprogramming levels swept")
     parser.add_argument("--sweep", metavar="AXIS",
@@ -182,6 +201,18 @@ def _run_figures(names: List[str], args) -> List[str]:
             config, cardinality=args.cardinality, num_sites=args.num_sites,
             measured_queries=measured, mpls=mpls, seed=args.seed,
             jobs=args.jobs, cache=cache, telemetry_spec=telemetry_spec)
+        if args.audit or args.audit_out:
+            # Post-processing only: the audit reads the finished result
+            # (and the plan layer's memoized placements), so the series
+            # above are bit-identical with or without it.
+            from .audit_report import (audit_payload, build_audit_report,
+                                       write_report)
+            report = build_audit_report(result, samples=args.audit_samples)
+            result.audit = audit_payload(report)
+            md_path, html_path = write_report(
+                report, args.audit_out or "audit-reports")
+            blocks.append(f"(audit: wrote {md_path} and {html_path}; "
+                          f"digest {report.digest})")
         blocks.append(format_figure(result))
         if args.metrics_out:
             blocks += _export_run_artifacts(args.metrics_out, name,
@@ -259,7 +290,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             measured_queries=(QUICK_MEASURED if args.quick
                               else min(args.measured, 200)),
             seed=args.seed, jobs=args.jobs)
-        out.append(explained.render())
+        out.append(explained.render(top_k=args.explain_top_k))
         did_something = True
     if args.report:
         from .markdown import report_from_directory

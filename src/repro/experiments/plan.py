@@ -56,6 +56,7 @@ __all__ = [
     "compile_figure",
     "compile_point",
     "execute_run",
+    "placement_for_spec",
     "clear_memos",
 ]
 
@@ -282,6 +283,21 @@ def _placement_for(spec: RunSpec, params: SimulationParameters,
         placement = strategy.partition(_relation_for(spec), spec.num_sites)
         _placement_memo[key] = placement
     return placement
+
+
+def placement_for_spec(spec: RunSpec,
+                       params: SimulationParameters = GAMMA_PARAMETERS,
+                       config: Optional[ExperimentConfig] = None
+                       ) -> Placement:
+    """The declustered placement a spec's run loads -- no simulation.
+
+    Shares the per-process memo with :func:`execute_run`; since
+    :meth:`RunSpec.placement_key` excludes the multiprogramming level,
+    auditing a figure that just ran in this process reuses its
+    placements for free.  The static audit layer goes through here so
+    re-reporting a cached run never touches the machine model.
+    """
+    return _placement_for(spec, params, config)
 
 
 def execute_run(spec: RunSpec,

@@ -41,7 +41,7 @@ SUPPORTED_VERSIONS = (1, 2)
 
 def figure_to_dict(result: FigureResult) -> Dict:
     """A JSON-serializable dictionary of one figure's results."""
-    return {
+    payload = {
         "format_version": FORMAT_VERSION,
         "figure": result.config.figure,
         "seed": result.seed,
@@ -63,6 +63,9 @@ def figure_to_dict(result: FigureResult) -> Dict:
             for name, runs in result.series.items()
         },
     }
+    if result.audit is not None:
+        payload["audit"] = result.audit
+    return payload
 
 
 def figure_from_dict(payload: Dict) -> FigureResult:
@@ -97,7 +100,11 @@ def figure_from_dict(payload: Dict) -> FigureResult:
                       in payload.get("spec_digests", {}).items()},
         # Files written before the seed echo existed load as seed 13,
         # the harness-wide default they were in fact produced with.
-        seed=payload.get("seed", 13))
+        seed=payload.get("seed", 13),
+        # Optional placement-audit summary+digest (absent unless the
+        # figure ran under --audit); kept verbatim so an offline
+        # re-report can verify it against a freshly computed audit.
+        audit=payload.get("audit"))
     for name, runs in payload["series"].items():
         result.series[name] = [RunResult.from_json_dict(run)
                                for run in runs]

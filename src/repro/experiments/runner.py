@@ -69,6 +69,10 @@ class FigureResult:
     #: Excluded from serialization (live measurement artifacts).
     telemetries: Dict[Tuple[str, int], Telemetry] = field(
         default_factory=dict, repr=False, compare=False)
+    #: Placement-quality audit payload (``{"summary": {strategy:
+    #: ...}, "digest": ...}``) attached by ``--audit``; round-trips
+    #: through results-v2 JSON so cached runs re-report offline.
+    audit: Optional[Dict] = None
 
     def throughput_at(self, strategy: str, mpl: int) -> float:
         for result in self.series[strategy]:

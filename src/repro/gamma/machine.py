@@ -144,6 +144,7 @@ class GammaMachine:
             # Force-close spans of queries interrupted mid-flight so
             # the exported trace trees replay cleanly.
             self.telemetry.end_window()
+            self._record_load_balance()
 
         return self._summarize(multiprogramming_level)
 
@@ -176,11 +177,32 @@ class GammaMachine:
                     node.buffer_pool.misses)
         return usage
 
+    def _record_load_balance(self) -> None:
+        """Per-node busy-time shares as end-of-window gauges.
+
+        ``_reset_all_stats`` zeroed the counters at the window boundary,
+        so these are measurement-window shares: each node's fraction of
+        the machine's total node-CPU busy time, plus the max/mean ratio
+        the audit layer reports as runtime load imbalance.
+        """
+        registry = self.telemetry.registry
+        busy = [node.cpu.busy_seconds for node in self.nodes]
+        total = sum(busy)
+        for node, seconds in zip(self.nodes, busy):
+            registry.gauge(f"node.{node.node_id}.cpu.busy_share").set(
+                seconds / total if total else 0.0)
+        mean = total / len(busy) if busy else 0.0
+        registry.gauge("nodes.cpu.busy_share.max_over_mean").set(
+            max(busy) / mean if mean else 0.0)
+
     def _register_probes(self, sampler) -> None:
         """Wire per-resource utilization timelines onto the sampler."""
         sampler.add_rate_probe(
             "sched.cpu.utilization",
             lambda: self.scheduler_cpu.busy_seconds)
+        sampler.add_spread_probe(
+            "nodes.cpu.imbalance",
+            [(lambda cpu=node.cpu: cpu.busy_seconds) for node in self.nodes])
         sampler.add_rate_probe(
             "net.link.bytes_per_second",
             lambda: float(self.network.bytes_sent))

@@ -70,6 +70,13 @@ class OperatorManager:
         self._rng = random.Random(seed)
         self.selects_executed = 0
         self.probes_executed = 0
+        # Per-node completion counters for the load-balance audit; the
+        # null registry hands back shared no-ops, so the per-operator
+        # increments below cost nothing with telemetry off.
+        self._selects_counter = telemetry.registry.counter(
+            f"node.{node_id}.ops.selects")
+        self._probes_counter = telemetry.registry.counter(
+            f"node.{node_id}.ops.probes")
         env.process(self._dispatch_loop())
 
     def _dispatch_loop(self):
@@ -225,6 +232,7 @@ class OperatorManager:
                                                      span=span)
             remaining -= batch
         self.selects_executed += 1
+        self._selects_counter.inc()
         yield from self.network.deliver(
             self.node_id, request.reply_to,
             self.params.control_message_bytes,
@@ -305,6 +313,7 @@ class OperatorManager:
                 * self.params.instructions_per_index_entry, span=span)
 
         self.probes_executed += 1
+        self._probes_counter.inc()
         yield from self.network.deliver(
             self.node_id, request.reply_to,
             self.params.control_message_bytes,

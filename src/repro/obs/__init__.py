@@ -15,11 +15,28 @@ those explanations reproducible from a run:
   span-tree replay validation;
 * :mod:`~repro.obs.summary` -- the paper-style "why" table (top-k
   resources by attributed time per query type);
+* :mod:`~repro.obs.audit` -- the *static* placement-quality analyzer:
+  per-processor heat maps, skew (max/mean, CV, Gini), achieved slice
+  spread vs. M_i targets, per-query fan-out distributions -- no
+  simulation involved;
 * :mod:`~repro.obs.telemetry` -- the per-run bundle; pass
   ``Telemetry()`` to :class:`~repro.gamma.machine.GammaMachine`, or
   nothing for the near-zero-cost disabled default.
 """
 
+from .audit import (
+    FanoutStats,
+    PlacementAudit,
+    SkewStats,
+    SliceSpread,
+    audit_digest,
+    audit_placement,
+    fanout_stats,
+    fragment_counts,
+    gini_coefficient,
+    skew_stats,
+    slice_spreads,
+)
 from .export import (
     build_span_forest,
     load_jsonl,
@@ -74,4 +91,15 @@ __all__ = [
     "why_table",
     "dominant_resource",
     "resource_breakdown",
+    "PlacementAudit",
+    "SkewStats",
+    "SliceSpread",
+    "FanoutStats",
+    "audit_placement",
+    "audit_digest",
+    "skew_stats",
+    "gini_coefficient",
+    "fragment_counts",
+    "slice_spreads",
+    "fanout_stats",
 ]

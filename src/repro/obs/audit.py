@@ -1,0 +1,384 @@
+"""Static placement-quality audit (paper §3.4, §5-§7).
+
+The paper's argument is observational: MAGIC wins because each query
+touches ~M_i processors with balanced load, BERD pays a two-step
+auxiliary probe, and range partitioning degenerates to a full broadcast
+on the secondary attribute.  This module *measures* those claims
+directly on a :class:`~repro.core.strategy.Placement` -- no simulation,
+no clock, no event queue:
+
+* per-processor tuple and fragment heat maps with skew statistics
+  (max/mean ratio, coefficient of variation, Gini coefficient -- the
+  deviation metrics of "Improved Bounds and Schemes for the
+  Declustering Problem");
+* achieved per-dimension slice spread vs. the M_i targets
+  ``assign_entries`` aimed for (MAGIC only);
+* the per-query fan-out distribution for a workload mix: processors
+  touched per QA/QB selection, exact for range/MAGIC and two-step
+  (auxiliary probe + base fan-out) for BERD.
+
+Everything here is a pure function of the placement and a seeded
+``random.Random``, so auditing a cached run never perturbs simulated
+results and reproduces bit-identically across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import asdict, dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.berd import BerdPlacement
+from ..core.magic import MagicPlacement
+from ..core.strategy import Placement
+
+__all__ = [
+    "SkewStats",
+    "SliceSpread",
+    "FanoutStats",
+    "PlacementAudit",
+    "skew_stats",
+    "gini_coefficient",
+    "fragment_counts",
+    "slice_spreads",
+    "fanout_stats",
+    "audit_placement",
+    "audit_digest",
+]
+
+
+def gini_coefficient(counts: Sequence[float]) -> float:
+    """Gini coefficient of a load vector (0 = perfectly even).
+
+    Uses the sorted-rank identity ``G = 2 sum(i x_i) / (n sum(x)) -
+    (n + 1) / n`` with 1-based ranks over ascending values.  An all-zero
+    or single-element vector is perfectly even by convention.
+    """
+    values = np.sort(np.asarray(counts, dtype=float))
+    n = values.size
+    total = float(values.sum())
+    if n <= 1 or total <= 0.0:
+        return 0.0
+    ranks = np.arange(1, n + 1, dtype=float)
+    return float(2.0 * np.dot(ranks, values) / (n * total) - (n + 1) / n)
+
+
+@dataclass(frozen=True)
+class SkewStats:
+    """How uneven a per-processor load vector is."""
+
+    total: float
+    mean: float
+    minimum: float
+    maximum: float
+    #: max/mean -- 1.0 is perfect balance; the §4 worst case drives it
+    #: toward the processor count.
+    max_mean_ratio: float
+    #: Coefficient of variation (population stddev / mean).
+    cv: float
+    gini: float
+    #: Fraction of processors holding nothing at all.
+    empty_fraction: float
+
+    @classmethod
+    def from_counts(cls, counts: Sequence[float]) -> "SkewStats":
+        values = np.asarray(counts, dtype=float)
+        if values.size == 0:
+            raise ValueError("skew statistics need at least one processor")
+        total = float(values.sum())
+        mean = total / values.size
+        if mean > 0.0:
+            ratio = float(values.max()) / mean
+            cv = float(values.std()) / mean
+        else:
+            ratio = 1.0
+            cv = 0.0
+        return cls(total=total, mean=mean,
+                   minimum=float(values.min()), maximum=float(values.max()),
+                   max_mean_ratio=ratio, cv=cv,
+                   gini=gini_coefficient(values),
+                   empty_fraction=float((values == 0).sum()) / values.size)
+
+    def to_json_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping) -> "SkewStats":
+        return cls(**payload)
+
+
+def skew_stats(counts: Sequence[float]) -> SkewStats:
+    """Skew statistics of one per-processor load vector."""
+    return SkewStats.from_counts(counts)
+
+
+@dataclass(frozen=True)
+class SliceSpread:
+    """Achieved distinct-processor spread of one grid dimension.
+
+    The MAGIC assignment tries to hold the distinct owners of every
+    slice of dimension *i* near the target ``t_i`` that
+    ``factor_slice_targets`` derived from the ideal ``M_i``.
+    """
+
+    attribute: str
+    #: The integer slice target the assignment aimed for (None when the
+    #: placement took the small-directory identity path).
+    target: Optional[int]
+    #: The ideal (possibly fractional) M_i the target was derived from.
+    ideal_mi: Optional[float]
+    achieved_mean: float
+    achieved_min: int
+    achieved_max: int
+
+    @property
+    def within_one(self) -> Optional[bool]:
+        """Is the mean achieved spread within +-1 of the target?"""
+        if self.target is None:
+            return None
+        return abs(self.achieved_mean - self.target) <= 1.0
+
+    def to_json_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping) -> "SliceSpread":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class FanoutStats:
+    """Per-query fan-out distribution for one query type.
+
+    For range/MAGIC the route is single-phase and ``target_*`` is the
+    whole story.  For BERD secondary-attribute queries the route is
+    two-step -- ``probe_*`` counts the auxiliary-index fragments probed
+    first, ``target_*`` the base fragments the matches then select on --
+    and ``sites_mean`` counts distinct processors across both phases.
+    """
+
+    query_type: str
+    attribute: str
+    samples: int
+    target_mean: float
+    target_min: int
+    target_max: int
+    probe_mean: float
+    probe_min: int
+    probe_max: int
+    sites_mean: float
+    #: True when every sampled route carried a probe phase (BERD).
+    two_step: bool
+    #: Fraction of routes that fell back to broadcasting every site.
+    broadcast_fraction: float
+
+    def to_json_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping) -> "FanoutStats":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class PlacementAudit:
+    """The full static quality audit of one placement."""
+
+    strategy: str
+    num_sites: int
+    correlation: str
+    samples: int
+    seed: int
+    #: Per-processor heat maps (index = processor id).
+    tuple_counts: Tuple[int, ...]
+    fragment_counts: Tuple[int, ...]
+    #: BERD only: per-processor auxiliary-index entry counts by attribute.
+    aux_counts: Dict[str, Tuple[int, ...]]
+    tuple_skew: SkewStats
+    fragment_skew: SkewStats
+    #: MAGIC only: one entry per grid dimension.
+    slice_spreads: Tuple[SliceSpread, ...]
+    #: One entry per query type of the audited mix.
+    fanouts: Dict[str, FanoutStats]
+
+    def summary(self) -> Dict:
+        """A compact JSON-serializable digest for results-v2 embedding."""
+        return {
+            "strategy": self.strategy,
+            "num_sites": self.num_sites,
+            "correlation": self.correlation,
+            "samples": self.samples,
+            "seed": self.seed,
+            "tuple_skew": {
+                "max_mean_ratio": round(self.tuple_skew.max_mean_ratio, 6),
+                "cv": round(self.tuple_skew.cv, 6),
+                "gini": round(self.tuple_skew.gini, 6),
+            },
+            "fragment_skew": {
+                "max_mean_ratio": round(self.fragment_skew.max_mean_ratio, 6),
+                "cv": round(self.fragment_skew.cv, 6),
+                "gini": round(self.fragment_skew.gini, 6),
+            },
+            "slice_spreads": [s.to_json_dict() for s in self.slice_spreads],
+            "fanouts": {
+                name: {
+                    "target_mean": round(f.target_mean, 4),
+                    "probe_mean": round(f.probe_mean, 4),
+                    "sites_mean": round(f.sites_mean, 4),
+                    "two_step": f.two_step,
+                    "broadcast_fraction": round(f.broadcast_fraction, 4),
+                }
+                for name, f in self.fanouts.items()
+            },
+        }
+
+    def to_json_dict(self) -> Dict:
+        return {
+            "strategy": self.strategy,
+            "num_sites": self.num_sites,
+            "correlation": self.correlation,
+            "samples": self.samples,
+            "seed": self.seed,
+            "tuple_counts": list(self.tuple_counts),
+            "fragment_counts": list(self.fragment_counts),
+            "aux_counts": {a: list(c) for a, c in self.aux_counts.items()},
+            "tuple_skew": self.tuple_skew.to_json_dict(),
+            "fragment_skew": self.fragment_skew.to_json_dict(),
+            "slice_spreads": [s.to_json_dict() for s in self.slice_spreads],
+            "fanouts": {n: f.to_json_dict()
+                        for n, f in self.fanouts.items()},
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping) -> "PlacementAudit":
+        return cls(
+            strategy=payload["strategy"],
+            num_sites=payload["num_sites"],
+            correlation=payload["correlation"],
+            samples=payload["samples"],
+            seed=payload["seed"],
+            tuple_counts=tuple(payload["tuple_counts"]),
+            fragment_counts=tuple(payload["fragment_counts"]),
+            aux_counts={a: tuple(c)
+                        for a, c in payload["aux_counts"].items()},
+            tuple_skew=SkewStats.from_json_dict(payload["tuple_skew"]),
+            fragment_skew=SkewStats.from_json_dict(payload["fragment_skew"]),
+            slice_spreads=tuple(SliceSpread.from_json_dict(s)
+                                for s in payload["slice_spreads"]),
+            fanouts={n: FanoutStats.from_json_dict(f)
+                     for n, f in payload["fanouts"].items()},
+        )
+
+
+def fragment_counts(placement: Placement) -> Tuple[int, ...]:
+    """Fragments (grid entries for MAGIC, 1 otherwise) per processor."""
+    if isinstance(placement, MagicPlacement):
+        per_site = placement.directory.entries_per_site(placement.num_sites)
+        return tuple(int(c) for c in per_site)
+    return tuple(1 for _ in range(placement.num_sites))
+
+
+def slice_spreads(placement: Placement) -> Tuple[SliceSpread, ...]:
+    """Achieved vs. targeted slice spread, per grid dimension (MAGIC)."""
+    if not isinstance(placement, MagicPlacement):
+        return ()
+    targets = placement.slice_targets or {}
+    mi = placement.mi or {}
+    spreads = []
+    for attribute in placement.directory.attributes:
+        achieved = placement.directory.distinct_sites_per_slice(attribute)
+        spreads.append(SliceSpread(
+            attribute=attribute,
+            target=targets.get(attribute),
+            ideal_mi=mi.get(attribute),
+            achieved_mean=float(np.mean(achieved)),
+            achieved_min=int(min(achieved)),
+            achieved_max=int(max(achieved))))
+    return tuple(spreads)
+
+
+def fanout_stats(placement: Placement, spec, samples: int,
+                 rng: random.Random) -> FanoutStats:
+    """Sample *spec*'s predicate distribution and route every draw."""
+    if samples < 1:
+        raise ValueError("fan-out audit needs at least one sample")
+    target_counts = []
+    probe_counts = []
+    site_counts = []
+    broadcasts = 0
+    two_step = True
+    for _ in range(samples):
+        decision = placement.route(spec.make_predicate(rng))
+        target_counts.append(len(decision.target_sites))
+        probe_counts.append(len(decision.probe_sites))
+        site_counts.append(decision.site_count)
+        if not decision.used_partitioning:
+            broadcasts += 1
+        if not decision.is_two_phase:
+            two_step = False
+    return FanoutStats(
+        query_type=spec.name,
+        attribute=spec.attribute,
+        samples=samples,
+        target_mean=float(np.mean(target_counts)),
+        target_min=int(min(target_counts)),
+        target_max=int(max(target_counts)),
+        probe_mean=float(np.mean(probe_counts)),
+        probe_min=int(min(probe_counts)),
+        probe_max=int(max(probe_counts)),
+        sites_mean=float(np.mean(site_counts)),
+        two_step=two_step,
+        broadcast_fraction=broadcasts / samples)
+
+
+def audit_placement(placement: Placement, mix, strategy: str,
+                    correlation: "str | float" = "low",
+                    samples: int = 400, seed: int = 13) -> PlacementAudit:
+    """Audit one placement against one workload mix.
+
+    Pure and deterministic: the predicate sample stream derives from
+    *seed* alone, so repeated audits (and audits on other processes)
+    agree bit-for-bit.
+    """
+    tuples = tuple(int(c) for c in placement.cardinalities())
+    fragments = fragment_counts(placement)
+    aux_counts: Dict[str, Tuple[int, ...]] = {}
+    if isinstance(placement, BerdPlacement):
+        aux_counts = {
+            attribute: tuple(placement.aux_cardinality(attribute, site)
+                             for site in range(placement.num_sites))
+            for attribute in sorted(placement.auxiliaries)
+        }
+    fanouts = {}
+    for spec in mix.specs:
+        # One independent substream per query type: adding a type never
+        # shifts another type's sampled predicates.
+        rng = random.Random(f"{seed}/{strategy}/{spec.name}")
+        fanouts[spec.name] = fanout_stats(placement, spec, samples, rng)
+    return PlacementAudit(
+        strategy=strategy,
+        num_sites=placement.num_sites,
+        correlation=str(correlation),
+        samples=samples,
+        seed=seed,
+        tuple_counts=tuples,
+        fragment_counts=fragments,
+        aux_counts=aux_counts,
+        tuple_skew=skew_stats(tuples),
+        fragment_skew=skew_stats(fragments),
+        slice_spreads=slice_spreads(placement),
+        fanouts=fanouts)
+
+
+def audit_digest(summaries: Mapping[str, Dict]) -> str:
+    """Content digest of a per-strategy audit summary mapping.
+
+    Stored alongside results-v2 artifacts so a re-rendered report can be
+    matched to the audit that produced it without re-running anything.
+    """
+    payload = json.dumps(dict(summaries), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]

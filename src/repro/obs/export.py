@@ -16,6 +16,8 @@ replay an export and check that every trace forms a well-nested tree.
 from __future__ import annotations
 
 import json
+import math
+import re
 from typing import Dict, Iterator, List
 
 from .registry import Counter, Gauge, Histogram, MetricsRegistry, Timeline
@@ -95,11 +97,19 @@ def build_span_forest(records: List[Dict]) -> Dict[int, Dict[int, Dict]]:
 def validate_span_forest(records: List[Dict]) -> List[str]:
     """Structural checks on a span export; returns human-readable errors.
 
-    A valid export has, per trace: exactly one root span (no parent),
-    every other span's parent present, every child interval nested
-    within its parent's interval, and no cycles.
+    A valid export has, per trace: unique span ids, exactly one root
+    span (no parent), every other span's parent present, every child
+    interval nested within its parent's interval, and no cycles.
     """
     errors: List[str] = []
+    # Duplicate ids first: build_span_forest keeps only the last record
+    # per (trace, span), so the per-trace checks below cannot see them.
+    seen_ids = set()
+    for record in records:
+        key = (record["trace"], record["span"])
+        if key in seen_ids:
+            errors.append(f"trace {key[0]}: duplicate span id {key[1]}")
+        seen_ids.add(key)
     for trace_id, spans in build_span_forest(records).items():
         roots = [s for s in spans.values() if s["parent"] is None]
         if len(roots) != 1:
@@ -140,12 +150,30 @@ def validate_span_forest(records: List[Dict]) -> List[str]:
 # -- Prometheus text format ------------------------------------------------------
 
 def _prom_name(name: str) -> str:
-    return name.replace(".", "_").replace("-", "_")
+    """Sanitize a dotted metric name to ``[a-zA-Z_:][a-zA-Z0-9_:]*``.
+
+    Every illegal character (dots, dashes, spaces, unicode) collapses to
+    an underscore, and a leading digit gets an underscore prefix, so any
+    registry name renders as a scrape-able metric name.
+    """
+    name = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
 
 
 def _prom_value(value: float) -> str:
-    if value != value:  # NaN
+    """A float in the exposition format's value syntax.
+
+    The text format spells the specials ``NaN``, ``+Inf`` and ``-Inf``;
+    ``repr(float('inf'))`` would emit ``inf``, which scrapers reject.
+    NaN values reach us from real metrics -- a throughput confidence
+    interval over a too-short window, a ratio with an empty denominator.
+    """
+    if math.isnan(value):
         return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
     return repr(float(value))
 
 

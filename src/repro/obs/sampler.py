@@ -79,6 +79,31 @@ class TimelineSampler:
         timeline = self.registry.timeline(name)
         self._probes.append((timeline, lambda dt: float(level())))
 
+    def add_spread_probe(self, name: str,
+                         cumulatives: List[Callable[[], float]]) -> None:
+        """Per-interval spread (max - min) of several cumulative rates.
+
+        Turns N cumulative counters -- one per node, typically CPU
+        busy-seconds -- into a cross-node *imbalance* timeline: each
+        sample is the gap between the busiest and idlest node's rate
+        over the interval.  0.0 means the interval's load was perfectly
+        balanced; 1.0 (for busy-seconds inputs) means some node ran flat
+        out while another sat idle, the §3.4 failure mode the MAGIC
+        assignment exists to avoid.
+        """
+        timeline = self.registry.timeline(name)
+        fns = list(cumulatives)
+        state = {"prev": [fn() for fn in fns]}
+
+        def sample(dt: float) -> float:
+            now_values = [fn() for fn in fns]
+            rates = [(now - prev) / dt
+                     for now, prev in zip(now_values, state["prev"])]
+            state["prev"] = now_values
+            return (max(rates) - min(rates)) if rates else 0.0
+
+        self._probes.append((timeline, sample))
+
     # -- lifecycle -----------------------------------------------------------
 
     def resync(self) -> None:

@@ -1,7 +1,10 @@
 """Unit tests for the JSONL and Prometheus exporters."""
 
+import re
+
 import pytest
 
+from repro.obs.export import _prom_name, _prom_value
 from repro.obs import (
     MetricsRegistry,
     load_jsonl,
@@ -62,3 +65,64 @@ class TestPrometheus:
 
     def test_empty_registry(self):
         assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestPrometheusEdgeCases:
+    """The text exposition format's naming and value special cases."""
+
+    def test_nan_value_renders_as_NaN(self):
+        registry = MetricsRegistry()
+        registry.gauge("throughput.ci_halfwidth").set(float("nan"))
+        text = render_prometheus(registry)
+        assert "repro_throughput_ci_halfwidth NaN" in text
+
+    def test_infinities_render_with_sign(self):
+        registry = MetricsRegistry()
+        registry.gauge("ratio.up").set(float("inf"))
+        registry.gauge("ratio.down").set(float("-inf"))
+        text = render_prometheus(registry)
+        assert "repro_ratio_up +Inf" in text
+        assert "repro_ratio_down -Inf" in text
+        # Never python's repr spellings, which scrapers reject.
+        assert "inf\n" not in text
+
+    def test_short_window_nan_confidence_interval_round_trips(self):
+        # The realistic NaN source: a confidence interval over a window
+        # too short to estimate variance.
+        from repro.gamma.metrics import RunMetrics
+        from repro.des import Environment
+        metrics = RunMetrics(Environment())
+        registry = MetricsRegistry()
+        registry.gauge("throughput.ci").set(
+            metrics.throughput_confidence())
+        text = render_prometheus(registry)
+        assert "repro_throughput_ci NaN" in text
+
+    def test_name_sanitization(self):
+        assert _prom_name("node.0.disk-reads") == "node_0_disk_reads"
+        assert _prom_name("node 0/disk%util") == "node_0_disk_util"
+        assert _prom_name("9lives") == "_9lives"
+        assert _prom_name("") == "_"
+        assert _prom_name("already_ok:sum") == "already_ok:sum"
+
+    def test_sanitized_names_are_legal_metric_names(self):
+        legal = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+        for ugly in ("node.3.cpu", "7th-heaven", "a b c", "μs.per.op"):
+            assert legal.match(_prom_name(ugly)), ugly
+
+    def test_value_formatting(self):
+        assert _prom_value(1.5) == "1.5"
+        assert _prom_value(float("nan")) == "NaN"
+        assert _prom_value(float("inf")) == "+Inf"
+        assert _prom_value(float("-inf")) == "-Inf"
+
+    def test_special_values_render_scrapeable_lines(self):
+        registry = MetricsRegistry()
+        registry.gauge("edge.nan").set(float("nan"))
+        registry.gauge("edge.inf").set(float("inf"))
+        for line in render_prometheus(registry).splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert value in ("NaN", "+Inf", "-Inf") or float(value) == 0.0 \
+                or value not in ("inf", "-inf", "nan")

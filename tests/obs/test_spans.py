@@ -141,6 +141,33 @@ class TestForestValidation:
         errors = validate_span_forest(records)
         assert any("2 root spans" in e for e in errors)
 
+    def test_detects_parent_cycle(self):
+        records = [
+            {"trace": 1, "span": 0, "parent": None, "start": 0.0, "end": 2.0},
+            {"trace": 1, "span": 1, "parent": 2, "start": 0.1, "end": 1.0},
+            {"trace": 1, "span": 2, "parent": 1, "start": 0.1, "end": 1.0},
+        ]
+        errors = validate_span_forest(records)
+        assert any("parent cycle" in e for e in errors)
+
+    def test_detects_duplicate_span_ids(self):
+        # build_span_forest silently keeps the last record per id, so
+        # the validator must catch duplicates on the raw record list.
+        records = [
+            {"trace": 1, "span": 0, "parent": None, "start": 0.0, "end": 2.0},
+            {"trace": 1, "span": 1, "parent": 0, "start": 0.1, "end": 1.0},
+            {"trace": 1, "span": 1, "parent": 0, "start": 0.2, "end": 0.9},
+        ]
+        errors = validate_span_forest(records)
+        assert any("duplicate span id 1" in e for e in errors)
+
+    def test_same_span_id_in_different_traces_is_fine(self):
+        records = [
+            {"trace": 1, "span": 0, "parent": None, "start": 0.0, "end": 1.0},
+            {"trace": 2, "span": 0, "parent": None, "start": 0.0, "end": 1.0},
+        ]
+        assert validate_span_forest(records) == []
+
     def test_accepts_well_nested_tree(self):
         records = [
             {"trace": 1, "span": 0, "parent": None, "start": 0.0, "end": 2.0},
