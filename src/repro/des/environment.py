@@ -53,6 +53,11 @@ class Environment:
         self._agenda: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        # Optional conservation-law observer (see repro.validation): when
+        # attached, step() reports each popped event's firing time so the
+        # checker can assert clock monotonicity.  None costs one attribute
+        # load per event.
+        self.invariants: Optional[Any] = None
         # When True, a process that dies with an unhandled exception fails
         # its Process event instead of crashing the whole simulation --
         # failure-injection experiments wait on the Process event and
@@ -120,6 +125,8 @@ class Environment:
         Raises :class:`IndexError` when the agenda is empty.
         """
         when, _prio, _seq, event = heapq.heappop(self._agenda)
+        if self.invariants is not None:
+            self.invariants.on_event(when, self._now)
         self._now = when
         event._run_callbacks()
 

@@ -104,7 +104,16 @@ class TimeWeightedMonitor:
         self._max = initial
 
     def observe(self, now: float, level: float) -> None:
-        """Record that the quantity changed to *level* at time *now*."""
+        """Record that the quantity changed to *level* at time *now*.
+
+        *now* must not precede the previous observation: a backwards
+        step would silently subtract area and corrupt every later
+        :meth:`time_average`.
+        """
+        if now < self._last_change:
+            raise ValueError(
+                f"observation at t={now} precedes the last change at "
+                f"t={self._last_change} ({self.name or 'monitor'})")
         self._area += self._level * (now - self._last_change)
         self._level = level
         self._last_change = now

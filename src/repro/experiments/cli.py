@@ -115,6 +115,13 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="sampled predicates per query type in the "
                              "audit (default: 400)")
+    parser.add_argument("--check-invariants", action="store_true",
+                        help="run every simulated point under the "
+                             "conservation-law invariant checker (first "
+                             "breach aborts with InvariantViolation; "
+                             "results are bit-identical either way, but "
+                             "cached points are re-simulated so they are "
+                             "actually checked)")
     parser.add_argument("--mpls", metavar="M1,M2,...", type=_mpl_list,
                         help="override the multiprogramming levels swept")
     parser.add_argument("--sweep", metavar="AXIS",
@@ -200,7 +207,8 @@ def _run_figures(names: List[str], args) -> List[str]:
         result = run_experiment(
             config, cardinality=args.cardinality, num_sites=args.num_sites,
             measured_queries=measured, mpls=mpls, seed=args.seed,
-            jobs=args.jobs, cache=cache, telemetry_spec=telemetry_spec)
+            jobs=args.jobs, cache=cache, telemetry_spec=telemetry_spec,
+            check_invariants=args.check_invariants)
         if args.audit or args.audit_out:
             # Post-processing only: the audit reads the finished result
             # (and the plan layer's memoized placements), so the series

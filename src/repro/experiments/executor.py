@@ -57,18 +57,21 @@ class ExecutionOutcome:
     telemetry: Optional[Telemetry] = None
 
 
-def _run_one(planned: PlannedRun,
-             telemetry: Optional[Telemetry]) -> Tuple[RunResult, float]:
+def _run_one(planned: PlannedRun, telemetry: Optional[Telemetry],
+             check_invariants: bool = False) -> Tuple[RunResult, float]:
     started = time.perf_counter()
-    result = execute_run(planned.spec, planned.params, telemetry=telemetry)
+    result = execute_run(planned.spec, planned.params, telemetry=telemetry,
+                         check_invariants=check_invariants)
     return result, time.perf_counter() - started
 
 
 def _worker_execute(planned: PlannedRun,
-                    telemetry_spec: Optional[TelemetrySpec]):
+                    telemetry_spec: Optional[TelemetrySpec],
+                    check_invariants: bool = False):
     """Top-level worker entry point (must be picklable by name)."""
     telemetry = telemetry_spec.build() if telemetry_spec is not None else None
-    result, wall = _run_one(planned, telemetry)
+    result, wall = _run_one(planned, telemetry,
+                            check_invariants=check_invariants)
     if telemetry is not None:
         telemetry.detach()
     return result, wall, telemetry
@@ -84,6 +87,7 @@ class SerialExecutor:
                 cache: Optional[ResultCache] = None,
                 telemetry_spec: Optional[TelemetrySpec] = None,
                 telemetry_provider: Optional[TelemetryProvider] = None,
+                check_invariants: bool = False,
                 ) -> List[ExecutionOutcome]:
         outcomes: List[ExecutionOutcome] = []
         for planned in plan:
@@ -92,14 +96,18 @@ class SerialExecutor:
                 telemetry = telemetry_provider(planned.spec)
             elif telemetry_spec is not None:
                 telemetry = telemetry_spec.build()
-            tracing = telemetry is not None
+            # A cache hit was not validated by this run, so invariant
+            # checking (like tracing) bypasses cache reads and always
+            # simulates; fresh results still write through below.
+            tracing = telemetry is not None or check_invariants
             if cache is not None and not tracing:
                 hit = cache.get(planned.spec)
                 if hit is not None:
                     outcomes.append(ExecutionOutcome(
                         spec=planned.spec, result=hit, cached=True))
                     continue
-            result, wall = _run_one(planned, telemetry)
+            result, wall = _run_one(planned, telemetry,
+                                    check_invariants=check_invariants)
             if cache is not None:
                 cache.put(planned.spec, result, executor=self.name,
                           jobs=self.jobs)
@@ -123,6 +131,7 @@ class ParallelExecutor:
                 cache: Optional[ResultCache] = None,
                 telemetry_spec: Optional[TelemetrySpec] = None,
                 telemetry_provider: Optional[TelemetryProvider] = None,
+                check_invariants: bool = False,
                 ) -> List[ExecutionOutcome]:
         if telemetry_provider is not None:
             raise ValueError(
@@ -130,7 +139,7 @@ class ParallelExecutor:
                 "process boundaries; pass a TelemetrySpec instead")
         outcomes: List[Optional[ExecutionOutcome]] = [None] * len(plan)
         pending: List[Tuple[int, PlannedRun]] = []
-        tracing = telemetry_spec is not None
+        tracing = telemetry_spec is not None or check_invariants
         for index, planned in enumerate(plan):
             hit = (cache.get(planned.spec)
                    if cache is not None and not tracing else None)
@@ -144,7 +153,8 @@ class ParallelExecutor:
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
                 futures = [
                     (index, planned,
-                     pool.submit(_worker_execute, planned, telemetry_spec))
+                     pool.submit(_worker_execute, planned, telemetry_spec,
+                                 check_invariants))
                     for index, planned in pending
                 ]
                 for index, planned, future in futures:

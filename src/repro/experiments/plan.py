@@ -303,7 +303,8 @@ def placement_for_spec(spec: RunSpec,
 def execute_run(spec: RunSpec,
                 params: SimulationParameters = GAMMA_PARAMETERS,
                 telemetry: Optional[Telemetry] = None,
-                config: Optional[ExperimentConfig] = None) -> RunResult:
+                config: Optional[ExperimentConfig] = None,
+                check_invariants: bool = False) -> RunResult:
     """Run one spec on a freshly built machine and return its result.
 
     Deterministic given (spec, params): the relation, placement and
@@ -311,11 +312,23 @@ def execute_run(spec: RunSpec,
     process -- produces the same :class:`~repro.gamma.metrics.RunResult`.
     ``config`` is only needed for experiment configs not registered in
     :data:`FIGURES` (the spec's ``figure`` resolves registered ones).
+    ``check_invariants`` runs the simulation under a
+    :class:`~repro.validation.InvariantChecker` (conservation laws
+    enforced, first breach raises); the flag is deliberately NOT part of
+    the spec -- results and digests are bit-identical either way.
     """
     placement = _placement_for(spec, params, config)
     mix = make_mix(spec.mix_name, domain=spec.cardinality,
                    qb_low_tuples=spec.qb_low_tuples)
+    invariants = None
+    if check_invariants:
+        # Imported here, not at module scope: the validation package's
+        # trend layer consumes this module, so a top-level import would
+        # be circular.
+        from ..validation.invariants import InvariantChecker
+        invariants = InvariantChecker()
     machine = GammaMachine(placement, indexes=PAPER_INDEXES, params=params,
-                           seed=spec.machine_seed, telemetry=telemetry)
+                           seed=spec.machine_seed, telemetry=telemetry,
+                           invariants=invariants)
     return machine.run(mix, multiprogramming_level=spec.multiprogramming_level,
                        measured_queries=spec.measured_queries)

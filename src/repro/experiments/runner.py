@@ -98,6 +98,7 @@ def run_experiment(config: ExperimentConfig,
                    jobs: int = 1,
                    cache: Optional[ResultCache] = None,
                    telemetry_spec: Optional[TelemetrySpec] = None,
+                   check_invariants: bool = False,
                    ) -> FigureResult:
     """Regenerate one figure; returns every (strategy, MPL) run result.
 
@@ -107,7 +108,9 @@ def run_experiment(config: ExperimentConfig,
     simulated and stored.  ``telemetry_spec`` collects per-run
     telemetry under any executor; ``telemetry_factory(strategy, mpl)``
     is the legacy serial-only hook for callers that hold on to the live
-    objects themselves.
+    objects themselves.  ``check_invariants`` runs every point under
+    the conservation-law checker (see :mod:`repro.validation`): the
+    first breach raises, results are bit-identical either way.
     """
     if telemetry_factory is not None and jobs != 1:
         raise ValueError(
@@ -125,7 +128,8 @@ def run_experiment(config: ExperimentConfig,
             spec.strategy, spec.multiprogramming_level)
     outcomes = executor.execute(plan, cache=cache,
                                 telemetry_spec=telemetry_spec,
-                                telemetry_provider=provider)
+                                telemetry_provider=provider,
+                                check_invariants=check_invariants)
 
     result = FigureResult(config=config, cardinality=cardinality,
                           num_sites=num_sites,

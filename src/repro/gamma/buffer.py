@@ -36,6 +36,11 @@ class BufferPool:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Lifetime admission/eviction ledger: unlike the window counters
+        # above, these survive reset_stats()/pin_range() so the invariant
+        # checker can assert admitted - evicted == resident at any point.
+        self.admitted_total = 0
+        self.evicted_total = 0
 
     def __len__(self) -> int:
         return len(self._frames)
@@ -54,7 +59,9 @@ class BufferPool:
         if len(self._frames) >= self.capacity:
             self._frames.popitem(last=False)
             self.evictions += 1
+            self.evicted_total += 1
         self._frames[page] = True
+        self.admitted_total += 1
         return False
 
     def contains(self, page: Hashable) -> bool:

@@ -55,11 +55,18 @@ class GammaMachine:
         metrics, spans and utilization timelines for this run; ``None``
         (the default) installs the shared no-op telemetry, whose only
         hot-loop cost is one attribute check per instrumented call.
+    invariants:
+        An optional :class:`~repro.validation.InvariantChecker`
+        enforcing conservation laws during the run (queries terminate
+        exactly once, busy time <= elapsed time, messages are not
+        lost, ...).  Like telemetry it is pure bookkeeping: simulated
+        results are bit-identical with or without it.
     """
 
     def __init__(self, placement: Placement, indexes: Dict[str, bool],
                  params: SimulationParameters = GAMMA_PARAMETERS,
-                 seed: int = 0, telemetry: Optional[Telemetry] = None):
+                 seed: int = 0, telemetry: Optional[Telemetry] = None,
+                 invariants=None):
         if placement.num_sites != params.num_processors:
             params = params.with_overrides(
                 num_processors=placement.num_sites)
@@ -68,14 +75,20 @@ class GammaMachine:
         self.env = Environment()
         self.telemetry = (telemetry if telemetry is not None
                           else NULL_TELEMETRY).bind(self.env)
+        self.invariants = invariants
+        if invariants is not None:
+            invariants.attach_environment(self.env)
+            if self.telemetry.enabled:
+                invariants.bind_registry(self.telemetry.registry)
         self.network = Network(self.env, params,
-                               registry=self.telemetry.registry)
+                               registry=self.telemetry.registry,
+                               invariants=invariants)
         self.catalog = SystemCatalog(params)
 
         self.nodes: List[OperatorNode] = [
             OperatorNode(self.env, node_id, params, self.network,
                          self.catalog, seed=seed * 1000 + node_id,
-                         telemetry=self.telemetry)
+                         telemetry=self.telemetry, invariants=invariants)
             for node_id in range(placement.num_sites)
         ]
         self.scheduler_node_id = placement.num_sites
@@ -86,7 +99,12 @@ class GammaMachine:
                                                  obs_label="sched.nic")
         self.scheduler = QueryScheduler(
             self.env, params, self.scheduler_node_id, scheduler_endpoint,
-            self.network, self.catalog, telemetry=self.telemetry)
+            self.network, self.catalog, telemetry=self.telemetry,
+            invariants=invariants)
+        if invariants is not None:
+            invariants.watch_resource("sched.cpu",
+                                      lambda: self.scheduler_cpu.busy_seconds)
+            invariants.watch_in_flight(lambda: self.scheduler.in_flight)
 
         self._layouts = [DiskLayout(params.disk_geometry)
                          for _ in self.nodes]
@@ -134,6 +152,8 @@ class GammaMachine:
         self.env.run(until=self.metrics.on_completion_count(warmup_queries))
         self._reset_all_stats()
         self.metrics.reset_window()
+        if self.invariants is not None:
+            self.invariants.begin_window(self.env.now)
         if self.telemetry.enabled:
             # Warm-up telemetry is transient-state noise: drop it and
             # start the utilization sampler at the window boundary.
@@ -146,7 +166,12 @@ class GammaMachine:
             self.telemetry.end_window()
             self._record_load_balance()
 
-        return self._summarize(multiprogramming_level)
+        result = self._summarize(multiprogramming_level)
+        if self.invariants is not None:
+            # Audit the end-of-run balances after the summary is built so
+            # a violation never leaves a half-summarized machine behind.
+            self.invariants.finalize()
+        return result
 
     def _reset_all_stats(self) -> None:
         for node in self.nodes:

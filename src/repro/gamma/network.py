@@ -47,7 +47,7 @@ class Network:
     """Fully connected interconnect between endpoints."""
 
     def __init__(self, env: Environment, params: SimulationParameters,
-                 registry=NULL_REGISTRY):
+                 registry=NULL_REGISTRY, invariants=None):
         self.env = env
         self.params = params
         self._endpoints: Dict[int, NetworkEndpoint] = {}
@@ -55,6 +55,9 @@ class Network:
         self.bytes_sent = 0
         self._msg_counter = registry.counter("net.messages")
         self._byte_counter = registry.counter("net.bytes")
+        # Optional conservation observer (repro.validation): counts every
+        # send and completed delivery so lost messages are detectable.
+        self.invariants = invariants
 
     def attach(self, node_id: int, cpu: Cpu,
                obs_label: str = "node.nic") -> NetworkEndpoint:
@@ -103,6 +106,12 @@ class Network:
         self.bytes_sent += num_bytes
         self._msg_counter.inc()
         self._byte_counter.inc(num_bytes)
+        if self.invariants is not None:
+            # The external host is outside the machine: the message is
+            # considered delivered the moment it leaves (no receiver to
+            # lose it).
+            self.invariants.on_message_sent(src, -1)
+            self.invariants.on_message_delivered(-1)
         yield from sender.cpu.execute(
             self.params.message_handling_instructions, span=span)
         yield from self._occupy_nic(
@@ -118,6 +127,8 @@ class Network:
         self.bytes_sent += num_bytes
         self._msg_counter.inc()
         self._byte_counter.inc(num_bytes)
+        if self.invariants is not None:
+            self.invariants.on_message_sent(src, dst)
 
         handling = self.params.message_handling_instructions
         yield from sender.cpu.execute(handling, span=span)
@@ -130,6 +141,8 @@ class Network:
             yield from self._occupy_nic(receiver, occupancy, span)
             yield from receiver.cpu.execute(handling, span=span)
 
+        if self.invariants is not None:
+            self.invariants.on_message_delivered(dst)
         receiver.mailbox.put(message)
 
     def reset_stats(self) -> None:

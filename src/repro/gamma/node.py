@@ -26,7 +26,7 @@ class OperatorNode:
     def __init__(self, env: Environment, node_id: int,
                  params: SimulationParameters, network: Network,
                  catalog: SystemCatalog, seed: int = 0,
-                 telemetry=NULL_TELEMETRY):
+                 telemetry=NULL_TELEMETRY, invariants=None):
         self.node_id = node_id
         self.cpu = Cpu(env, params, name=f"cpu{node_id}")
         self.disk = Disk(env, params, self.cpu, seed=seed,
@@ -40,6 +40,18 @@ class OperatorNode:
             env, node_id, params, self.cpu, self.disk, self.endpoint,
             network, catalog, seed=seed + 1,
             buffer_pool=self.buffer_pool, telemetry=telemetry)
+        if invariants is not None:
+            # Register this node's resources for the end-of-run busy-time
+            # and buffer conservation audit (pure bookkeeping: the node's
+            # behaviour is identical with or without a checker).
+            prefix = f"node.{node_id}"
+            invariants.watch_resource(f"{prefix}.cpu",
+                                      lambda: self.cpu.busy_seconds)
+            invariants.watch_resource(f"{prefix}.disk",
+                                      lambda: self.disk.busy_seconds)
+            if self.buffer_pool is not None:
+                invariants.watch_buffer(f"{prefix}.buffer",
+                                        self.buffer_pool)
 
     def reset_stats(self) -> None:
         self.cpu.reset_stats()

@@ -64,7 +64,8 @@ class QueryScheduler:
 
     def __init__(self, env: Environment, params: SimulationParameters,
                  node_id: int, endpoint: NetworkEndpoint, network: Network,
-                 catalog: SystemCatalog, telemetry=NULL_TELEMETRY):
+                 catalog: SystemCatalog, telemetry=NULL_TELEMETRY,
+                 invariants=None):
         self.env = env
         self.params = params
         self.node_id = node_id
@@ -72,6 +73,9 @@ class QueryScheduler:
         self.network = network
         self.catalog = catalog
         self.telemetry = telemetry
+        # Optional conservation observer (repro.validation): every issue /
+        # termination is reported so dropped or double completions surface.
+        self.invariants = invariants
         self._completed_counter = telemetry.registry.counter(
             "sched.queries.completed")
         self._queries: Dict[int, QueryHandle] = {}
@@ -90,6 +94,9 @@ class QueryScheduler:
         if self.telemetry.enabled:
             handle.trace = self.telemetry.begin_query(handle.query_id,
                                                       query_type)
+        if self.invariants is not None:
+            self.invariants.on_query_issued(handle.query_id, query_type,
+                                            self.env.now)
         self._queries[handle.query_id] = handle
         self.env.process(self._run_query(handle, relation, predicate))
         return handle
@@ -110,6 +117,9 @@ class QueryScheduler:
         if self.telemetry.enabled:
             handle.trace = self.telemetry.begin_query(handle.query_id,
                                                       query_type)
+        if self.invariants is not None:
+            self.invariants.on_query_issued(handle.query_id, query_type,
+                                            self.env.now)
         self._queries[handle.query_id] = handle
         self.env.process(self._run_insert(handle, relation, values))
         return handle
@@ -233,6 +243,9 @@ class QueryScheduler:
     def _finish(self, handle: QueryHandle) -> None:
         del self._queries[handle.query_id]
         self._completed_counter.inc()
+        if self.invariants is not None:
+            self.invariants.on_query_terminated(handle.query_id,
+                                                self.env.now)
         if handle.trace is not None:
             self.telemetry.end_query(handle.query_id)
         handle.completion.succeed(handle)

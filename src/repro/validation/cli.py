@@ -1,0 +1,171 @@
+"""Command-line entry point: ``repro-validate``.
+
+Evaluates paper-conformance trends, the analytic cost-model oracle and
+(optionally) the degenerate-config/scaling oracles, emitting a markdown
+conformance report and a pass/fail exit code.
+
+Examples::
+
+    repro-validate --figure 8a               # live tiny run, checked
+                                             # under the invariant
+                                             # checker, then validated
+    repro-validate runs/figure_8a.json       # offline: validate a saved
+                                             # results-v2 artifact (no
+                                             # simulation beyond the
+                                             # placement rebuild)
+    repro-validate --figure 8a --oracles     # also run the degenerate
+                                             # single-site, 1-D MAGIC
+                                             # and scaling oracles
+    repro-validate --figure 8a --out conformance.md --jobs 2
+
+Live runs default to the smallest configuration on which the paper's
+figure-8a ordering (MAGIC > BERD > range) still emerges: 8000 tuples on
+16 processors, MPLs 1/8/24.  Smaller machines cannot show BERD's
+localization advantage, so trend specs relax the full-ordering check
+below 16 sites.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..experiments.config import FIGURES
+from ..experiments.results_io import load_figure_json
+from ..experiments.runner import run_experiment
+from ..gamma.params import GAMMA_PARAMETERS
+from .checks import CheckGroup, render_report
+from .oracles import (
+    cost_model_oracle,
+    degenerate_single_site_oracle,
+    one_dimensional_magic_oracle,
+    scaling_oracle,
+)
+from .trends import evaluate_trends
+
+__all__ = ["main", "build_parser", "validate_figure_result"]
+
+#: Live-run defaults: the smallest figure configuration whose trends
+#: match the paper (see module docstring).
+TINY_CARDINALITY = 8000
+TINY_NUM_SITES = 16
+TINY_MPLS = (1, 8, 24)
+TINY_MEASURED = 60
+
+
+def validate_figure_result(result, params=GAMMA_PARAMETERS,
+                           cost_model: bool = True) -> List[CheckGroup]:
+    """Trend + cost-model check groups for one figure result.
+
+    Shared by the live and offline paths (and the conformance pytest
+    suite): only placements are rebuilt, nothing is simulated.
+    """
+    groups = [evaluate_trends(result)]
+    if cost_model:
+        groups.append(cost_model_oracle(result, params))
+    return groups
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-validate",
+        description="Validate simulation results against the paper's "
+                    "trends, the analytic cost model and degenerate-"
+                    "config oracles; emits a markdown conformance "
+                    "report and exits non-zero on any failed check.")
+    parser.add_argument("results", nargs="*", metavar="RESULTS.json",
+                        help="saved results-v2 JSON files to validate "
+                             "offline (from repro-experiments "
+                             "--save-json)")
+    parser.add_argument("--figure", choices=sorted(FIGURES),
+                        help="run this figure live on a tiny machine "
+                             "(under the invariant checker) and "
+                             "validate the fresh results")
+    parser.add_argument("--oracles", action="store_true",
+                        help="also run the simulation-backed oracles: "
+                             "single-processor degeneracy, 1-D MAGIC == "
+                             "range, and cardinality scaling")
+    parser.add_argument("--no-cost-model", action="store_true",
+                        help="skip the MPL=1 analytic cost-model oracle")
+    parser.add_argument("--out", metavar="REPORT.md",
+                        help="write the markdown conformance report to "
+                             "this path (it is always printed)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the live figure run "
+                             "(default: 1; results are bit-identical "
+                             "at any N)")
+    parser.add_argument("--cardinality", type=int, default=TINY_CARDINALITY,
+                        help=f"live-run relation cardinality (default: "
+                             f"{TINY_CARDINALITY})")
+    parser.add_argument("--processors-count", type=int,
+                        default=TINY_NUM_SITES, dest="num_sites",
+                        help=f"live-run processors (default: "
+                             f"{TINY_NUM_SITES})")
+    parser.add_argument("--measured", type=int, default=TINY_MEASURED,
+                        help=f"live-run measured queries per point "
+                             f"(default: {TINY_MEASURED})")
+    parser.add_argument("--mpls", metavar="M1,M2,...",
+                        help="live-run multiprogramming levels "
+                             "(default: %s)" % ",".join(map(str, TINY_MPLS)))
+    parser.add_argument("--seed", type=int, default=13)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not args.results and not args.figure:
+        build_parser().print_help()
+        return 2
+
+    groups: List[CheckGroup] = []
+    sources: List[str] = []
+
+    for path in args.results:
+        result = load_figure_json(path)
+        sources.append(f"offline {path} (figure {result.config.figure})")
+        groups += validate_figure_result(
+            result, cost_model=not args.no_cost_model)
+
+    if args.figure:
+        mpls = TINY_MPLS
+        if args.mpls:
+            mpls = tuple(int(v) for v in args.mpls.split(","))
+        result = run_experiment(
+            FIGURES[args.figure], cardinality=args.cardinality,
+            num_sites=args.num_sites, measured_queries=args.measured,
+            mpls=mpls, seed=args.seed, jobs=args.jobs,
+            check_invariants=True)
+        sources.append(
+            f"live figure {args.figure} ({args.cardinality} tuples, "
+            f"{args.num_sites} sites, MPLs {list(mpls)}, "
+            f"{result.executed_runs} runs under the invariant checker)")
+        live = CheckGroup(
+            title=f"Runtime invariants (figure {args.figure})",
+            note="conservation laws enforced during every simulated "
+                 "point; a breach raises InvariantViolation and aborts")
+        live.add("conservation laws", True,
+                 f"{result.executed_runs} runs completed with the "
+                 f"checker attached")
+        groups.append(live)
+        groups += validate_figure_result(
+            result, cost_model=not args.no_cost_model)
+
+    if args.oracles:
+        groups.append(degenerate_single_site_oracle())
+        groups.append(one_dimensional_magic_oracle())
+        groups.append(scaling_oracle())
+
+    report = render_report(groups, title="Conformance report")
+    report += "\nSources:\n" + "".join(f"\n* {s}" for s in sources) + "\n"
+    print(report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"(wrote {args.out})", file=sys.stderr)
+
+    return 0 if all(group.passed for group in groups) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,191 @@
+"""Per-figure trend specifications over whole MPL series.
+
+The paper states its claims as qualitative trends -- which strategy
+wins, by how much, and how throughput behaves as the multiprogramming
+level grows.  :class:`TrendSpec` captures one figure's claim as a set
+of assertions evaluated against a full
+:class:`~repro.experiments.runner.FigureResult` series (not just the
+last point, as the legacy ``check_expectation`` did):
+
+* **winner** -- the expected best strategy tops every swept MPL from
+  :attr:`~TrendSpec.order_from_mpl` on (with a small slack for
+  simulation noise);
+* **ordering** -- the full best-first order holds at the highest MPL.
+  BERD's advantage over range partitioning only emerges with enough
+  processors to localize against (the paper runs 32), so the
+  *complete* ordering is asserted only when the run has at least
+  :attr:`~TrendSpec.min_sites_for_order` sites -- tiny smoke configs
+  still check the winner and the gap;
+* **gap** -- the ratio between the top two strategies at the highest
+  MPL respects the paper's stated margin;
+* **monotone-to-saturation** -- each strategy's throughput is
+  non-decreasing (within slack) up to its peak MPL: more terminals
+  never *reduce* throughput before saturation.
+
+Specs are derived from the
+:class:`~repro.experiments.config.ExpectedOutcome` registry, so the
+two layers cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from ..experiments.config import FIGURES, ExperimentConfig
+from .checks import CheckGroup
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..experiments.runner import FigureResult
+
+__all__ = ["TrendSpec", "TREND_SPECS", "trend_spec_for", "evaluate_trends"]
+
+
+@dataclass(frozen=True)
+class TrendSpec:
+    """One figure's paper claim as a series-wide set of assertions."""
+
+    figure: str
+    #: Strategies best-first at high MPL (the paper's stated order).
+    order: Tuple[str, ...]
+    #: Required throughput(order[0]) / throughput(order[1]) at the top MPL.
+    min_final_ratio: Optional[float] = None
+    #: Optional upper bound on the same ratio.
+    max_final_ratio: Optional[float] = None
+    #: The winner is asserted at every swept MPL >= this (low MPLs are
+    #: excluded: e.g. figure 12b's range partitioning wins at MPL 1).
+    order_from_mpl: int = 16
+    #: Relative slack tolerated when comparing two strategies' points.
+    order_slack: float = 0.02
+    #: Relative dip tolerated on the way up to a strategy's peak.
+    monotone_slack: float = 0.05
+    #: Below this processor count only winner/gap/monotonicity are
+    #: asserted, not the complete order (BERD needs sites to localize).
+    min_sites_for_order: int = 16
+    note: str = ""
+
+
+def trend_spec_for(config: ExperimentConfig) -> TrendSpec:
+    """Derive a figure's :class:`TrendSpec` from its expected outcome."""
+    expected = config.expected
+    if expected is None:
+        return TrendSpec(figure=config.figure, order=config.strategies)
+    return TrendSpec(figure=config.figure, order=expected.order,
+                     min_final_ratio=expected.min_ratio,
+                     max_final_ratio=expected.max_ratio,
+                     note=expected.note)
+
+
+#: One spec per registered figure, derived from the expectation registry.
+TREND_SPECS: Dict[str, TrendSpec] = {
+    name: trend_spec_for(config) for name, config in FIGURES.items()
+}
+
+
+def _series_points(result: "FigureResult",
+                   strategy: str) -> List[Tuple[int, float]]:
+    return [(run.multiprogramming_level, run.throughput)
+            for run in result.series[strategy]]
+
+
+def evaluate_trends(result: "FigureResult",
+                    spec: Optional[TrendSpec] = None) -> CheckGroup:
+    """Evaluate one figure's series against its trend spec."""
+    if spec is None:
+        spec = TREND_SPECS.get(result.config.figure,
+                               trend_spec_for(result.config))
+    group = CheckGroup(
+        title=f"Figure {spec.figure} trends "
+              f"({result.cardinality} tuples, {result.num_sites} sites)",
+        note=spec.note)
+    present = [s for s in spec.order if s in result.series]
+    if len(present) < 2:
+        group.add("series", False,
+                  f"need >= 2 of {spec.order} in the results, "
+                  f"got {sorted(result.series)}")
+        return group
+
+    points = {s: _series_points(result, s) for s in present}
+    by_mpl = {s: dict(series) for s, series in points.items()}
+    # Cross-strategy comparisons only make sense at MPLs every strategy
+    # was measured at (series may sweep uneven grids).
+    mpls = sorted(set.intersection(*(set(m) for m in by_mpl.values())))
+    if not mpls:
+        group.add("series", False,
+                  "strategies share no common MPL to compare at")
+        return group
+    top_mpl = mpls[-1]
+
+    # Winner: the expected best strategy tops every high-MPL point.
+    winner = present[0]
+    checked_mpls = [m for m in mpls if m >= spec.order_from_mpl] or [top_mpl]
+    worst = None
+    for mpl in checked_mpls:
+        for rival in present[1:]:
+            if mpl not in by_mpl[winner] or mpl not in by_mpl[rival]:
+                continue
+            margin = (by_mpl[winner][mpl]
+                      - (1.0 - spec.order_slack) * by_mpl[rival][mpl])
+            if worst is None or margin < worst[0]:
+                worst = (margin, mpl, rival)
+    if worst is None:
+        group.add(f"winner={winner}", False,
+                  f"no common MPL >= {spec.order_from_mpl} to compare at")
+    else:
+        margin, mpl, rival = worst
+        group.add(
+            f"winner={winner}", margin >= 0.0,
+            f"vs {rival} at MPL {mpl}: {by_mpl[winner][mpl]:.1f} vs "
+            f"{by_mpl[rival][mpl]:.1f} q/s (closest rival over "
+            f"MPLs {checked_mpls})")
+
+    # Complete ordering at the top MPL (needs enough sites to be fair).
+    finals = {s: by_mpl[s][top_mpl] for s in present if top_mpl in by_mpl[s]}
+    measured = " > ".join(f"{s}={finals[s]:.1f}"
+                          for s in sorted(finals, key=lambda s: -finals[s]))
+    if result.num_sites < spec.min_sites_for_order:
+        group.add("ordering", True,
+                  f"not asserted at {result.num_sites} sites (needs >= "
+                  f"{spec.min_sites_for_order}); measured {measured}")
+    else:
+        ok = all(finals[a] >= (1.0 - spec.order_slack) * finals[b]
+                 for a, b in zip(present, present[1:]))
+        group.add("ordering", ok,
+                  f"expected {' > '.join(present)} at MPL {top_mpl}; "
+                  f"measured {measured}")
+
+    # Paper's stated margin between the top two strategies.
+    if spec.min_final_ratio is not None or spec.max_final_ratio is not None:
+        first, second = finals.get(present[0]), finals.get(present[1])
+        if first is None or second is None or second == 0.0:
+            group.add("gap", False, "top-two throughputs unavailable")
+        else:
+            ratio = first / second
+            ok = True
+            bounds = []
+            if spec.min_final_ratio is not None:
+                ok = ok and ratio >= spec.min_final_ratio
+                bounds.append(f">= {spec.min_final_ratio}")
+            if spec.max_final_ratio is not None:
+                ok = ok and ratio <= spec.max_final_ratio
+                bounds.append(f"<= {spec.max_final_ratio}")
+            group.add("gap", ok,
+                      f"{present[0]}/{present[1]} = {ratio:.2f} at MPL "
+                      f"{top_mpl} (expected {' and '.join(bounds)})")
+
+    # Monotone up to each strategy's saturation point.
+    for strategy in present:
+        series = points[strategy]
+        peak_index = max(range(len(series)), key=lambda i: series[i][1])
+        ok, detail = True, f"peak {series[peak_index][1]:.1f} q/s at MPL " \
+                           f"{series[peak_index][0]}"
+        for (mpl_a, thr_a), (mpl_b, thr_b) in zip(series[:peak_index],
+                                                  series[1:peak_index + 1]):
+            if thr_b < (1.0 - spec.monotone_slack) * thr_a:
+                ok = False
+                detail = (f"drop before saturation: {thr_a:.1f} q/s at MPL "
+                          f"{mpl_a} -> {thr_b:.1f} q/s at MPL {mpl_b}")
+                break
+        group.add(f"monotone[{strategy}]", ok, detail)
+
+    return group

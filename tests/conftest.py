@@ -1,0 +1,52 @@
+"""Shared fixtures: benchmark relations, mixes, machines, tiny figures.
+
+Building a Wisconsin relation or simulating a small figure takes real
+time; test modules historically rebuilt identical ones at module scope.
+The factories here memoize at session scope, so any two test files
+asking for the same (cardinality, correlation, seed) relation -- or the
+same canonical small figure run -- share one instance.  Relations and
+results are treated as immutable by every test; anything that mutates
+one must build its own.
+"""
+
+import pytest
+
+from repro.storage import make_wisconsin
+from repro.workload import make_mix
+
+
+@pytest.fixture(scope="session")
+def wisconsin_factory():
+    """Memoized ``make_wisconsin``: one build per distinct config."""
+    cache = {}
+
+    def build(cardinality, correlation="low", seed=13, name="R"):
+        key = (cardinality, correlation, seed, name)
+        if key not in cache:
+            cache[key] = make_wisconsin(cardinality,
+                                        correlation=correlation,
+                                        seed=seed, name=name)
+        return cache[key]
+
+    return build
+
+
+@pytest.fixture(scope="session")
+def tiny_relation(wisconsin_factory):
+    """2000-tuple low-correlation relation for fast machine tests."""
+    return wisconsin_factory(2_000, correlation="low", seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_mix():
+    """The low-low mix sized for :func:`tiny_relation`."""
+    return make_mix("low-low", domain=2_000)
+
+
+@pytest.fixture(scope="session")
+def small_figure_result():
+    """The canonical small figure-8a run several suites report against."""
+    from repro.experiments.config import FIGURES
+    from repro.experiments.runner import run_experiment
+    return run_experiment(FIGURES["8a"], cardinality=10_000, num_sites=8,
+                          measured_queries=50, mpls=(1, 8), seed=5)

@@ -88,6 +88,76 @@ class TestBuildGridfile:
         assert d.total_tuples == relation.cardinality
 
 
+class TestGridDirectoryProperties:
+    """Point lookups hit exactly one entry; range regions tile."""
+
+    CARD = 2_000
+    SHAPE = (8, 6)
+    SITES = 4
+
+    @pytest.fixture(scope="class")
+    def directory(self):
+        rel = make_wisconsin(cardinality=self.CARD, correlation="low",
+                             seed=7)
+        d = build_from_shape(rel, ["unique1", "unique2"], self.SHAPE)
+        d.set_assignment(
+            np.arange(d.num_entries).reshape(d.shape) % self.SITES)
+        return d
+
+    @given(x=st.integers(min_value=0, max_value=CARD - 1),
+           y=st.integers(min_value=0, max_value=CARD - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_point_hits_exactly_one_entry(self, directory, x, y):
+        from repro.core import RangePredicate
+        point = [RangePredicate("unique1", x, x),
+                 RangePredicate("unique2", y, y)]
+        region = directory._region_multi(point)
+        assert directory.counts[region].size == 1
+        sites = directory.sites_for_all(point, prune_empty=False)
+        assert len(sites) == 1
+        assert 0 <= sites[0] < self.SITES
+
+    @given(v=st.integers(min_value=0, max_value=CARD - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_every_value_falls_in_one_slice(self, directory, v):
+        for dim, attribute in enumerate(directory.attributes):
+            first, last = directory.slice_band(attribute, v, v)
+            assert first == last
+            assert 0 <= first < directory.shape[dim]
+
+    @given(a=st.integers(min_value=0, max_value=CARD - 1),
+           b=st.integers(min_value=0, max_value=CARD - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_slice_lookup_is_monotone(self, directory, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert directory.slice_band("unique1", lo, lo)[0] <= \
+            directory.slice_band("unique1", hi, hi)[0]
+
+    @given(low=st.integers(min_value=0, max_value=CARD - 2),
+           width=st.integers(min_value=1, max_value=CARD - 1),
+           cut=st.integers(min_value=0, max_value=CARD - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_split_ranges_tile_the_band(self, directory, low, width, cut):
+        """Splitting [low, high] anywhere covers the same slices with
+        no gap -- the band of the whole equals the union of the bands
+        of the parts."""
+        high = min(low + width, self.CARD - 1)
+        mid = min(low + cut % (high - low + 1), high - 1) \
+            if high > low else low
+        f, l = directory.slice_band("unique1", low, high)
+        f1, l1 = directory.slice_band("unique1", low, mid)
+        f2, l2 = directory.slice_band("unique1", mid + 1, high)
+        union = set(range(f1, l1 + 1)) | set(range(f2, l2 + 1))
+        assert union == set(range(f, l + 1))
+
+    def test_full_domain_region_covers_everything(self, directory):
+        from repro.core import RangePredicate
+        pred = RangePredicate("unique1", 0, self.CARD - 1)
+        assert directory.entries_covered(pred) == directory.num_entries
+        assert int(directory.counts[directory._region(pred)].sum()) == \
+            directory.total_tuples
+
+
 class TestBuilderProperties:
     @given(shape=st.tuples(st.integers(min_value=1, max_value=12),
                            st.integers(min_value=1, max_value=12)))

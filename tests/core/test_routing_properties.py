@@ -118,6 +118,27 @@ class TestRoutingSoundness:
             assert sum(decision.probe_matches) == expected
 
 
+class TestPointRouting:
+    """A point query on a unique attribute has exactly one home."""
+
+    @given(value=st.integers(min_value=0, max_value=CARDINALITY - 1),
+           attribute=st.sampled_from(["unique1", "unique2"]))
+    @settings(max_examples=60, deadline=None)
+    def test_point_owned_by_exactly_one_site(self, value, attribute):
+        predicate = RangePredicate(attribute, value, value)
+        for placement in PLACEMENTS:
+            counts = placement.qualifying_counts(predicate)
+            # unique1/unique2 are permutations of 0..N-1: exactly one
+            # tuple qualifies, living on exactly one site...
+            assert counts.sum() == 1
+            owner = int(np.nonzero(counts)[0][0])
+            # ...and the router must include that site.
+            routed = placement.route(predicate).target_sites
+            assert owner in routed, (
+                f"{type(placement).__name__} sent {attribute}={value} "
+                f"to {routed}, owner is {owner}")
+
+
 class TestConjunctionSoundness:
     @given(
         a_low=st.integers(min_value=0, max_value=CARDINALITY - 600),

@@ -52,6 +52,43 @@ class TestTallyMonitor:
         with pytest.raises(RuntimeError):
             m.percentile(50)
 
+    def test_single_observation(self):
+        m = TallyMonitor()
+        m.record(5.0)
+        assert m.mean == 5.0
+        assert m.stdev == 0.0  # undefined variance reported as 0, not NaN
+        assert m.minimum == m.maximum == 5.0
+
+    def test_identical_large_values_do_not_go_negative(self):
+        # sum_sq/n - mean^2 can cancel to a tiny negative float; the
+        # stdev must clamp to 0 instead of sqrt'ing it into a NaN.
+        m = TallyMonitor()
+        for _ in range(1000):
+            m.record(1e8 + 0.1)
+        assert m.stdev == 0.0
+
+    def test_negative_values_supported(self):
+        m = TallyMonitor()
+        for v in (-2.0, -4.0):
+            m.record(v)
+        assert m.mean == -3.0
+        assert m.minimum == -4.0
+        assert m.maximum == -2.0
+
+    def test_stats_usable_after_reset(self):
+        m = TallyMonitor().keep_samples()
+        m.record(1.0)
+        m.reset()
+        m.record(9.0)
+        assert m.count == 1
+        assert m.mean == 9.0
+        # keep_samples state is intentionally dropped by the reset.
+        with pytest.raises(RuntimeError):
+            m.percentile(50)
+
+    def test_empty_percentile_is_zero(self):
+        assert TallyMonitor().keep_samples().percentile(50) == 0.0
+
 
 class TestTimeWeightedMonitor:
     def test_constant_level(self):
@@ -78,6 +115,30 @@ class TestTimeWeightedMonitor:
     def test_zero_span_returns_current(self):
         m = TimeWeightedMonitor(initial=7.0, now=0.0)
         assert m.time_average(0.0) == 7.0
+
+    def test_simultaneous_observations_are_fine(self):
+        m = TimeWeightedMonitor(initial=0.0, now=0.0)
+        m.observe(5.0, 2.0)
+        m.observe(5.0, 3.0)  # zero-width step contributes zero area
+        assert m.time_average(10.0) == pytest.approx(1.5)
+
+    def test_backwards_observation_rejected(self):
+        m = TimeWeightedMonitor("queue", initial=0.0, now=0.0)
+        m.observe(5.0, 2.0)
+        with pytest.raises(ValueError, match="precedes"):
+            m.observe(4.0, 3.0)
+        # The failed observation must not have corrupted the average.
+        assert m.time_average(10.0) == pytest.approx(1.0)
+
+    def test_average_after_reset_mid_level(self):
+        # Reset keeps the current level: a queue of 2 at reset time
+        # averages 2 afterwards, not 0.
+        m = TimeWeightedMonitor(initial=0.0, now=0.0)
+        m.observe(5.0, 2.0)
+        m.reset(10.0)
+        assert m.current == 2.0
+        assert m.time_average(20.0) == pytest.approx(2.0)
+        assert m.maximum == 2.0  # pre-reset peak forgotten
 
 
 class TestUtilizationMonitor:

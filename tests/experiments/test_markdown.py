@@ -3,10 +3,8 @@
 import pytest
 
 from repro.experiments import (
-    FIGURES,
     figure_section,
     report_from_directory,
-    run_experiment,
     save_figure_json,
     scoreboard_row,
     series_table,
@@ -14,9 +12,9 @@ from repro.experiments import (
 
 
 @pytest.fixture(scope="module")
-def small_result():
-    return run_experiment(FIGURES["8a"], cardinality=10_000, num_sites=8,
-                          measured_queries=50, mpls=(1, 8), seed=5)
+def small_result(small_figure_result):
+    # Shared session-scoped run from tests/conftest.py.
+    return small_figure_result
 
 
 class TestBuildingBlocks:

@@ -5,22 +5,20 @@ import json
 import pytest
 
 from repro.experiments import (
-    FIGURES,
     ascii_plot,
     figure_from_dict,
     figure_to_csv,
     figure_to_dict,
     load_figure_json,
     plot_figure,
-    run_experiment,
     save_figure_json,
 )
 
 
 @pytest.fixture(scope="module")
-def small_result():
-    return run_experiment(FIGURES["8a"], cardinality=10_000, num_sites=8,
-                          measured_queries=50, mpls=(1, 8), seed=5)
+def small_result(small_figure_result):
+    # Shared session-scoped run from tests/conftest.py.
+    return small_figure_result
 
 
 class TestAsciiPlot:

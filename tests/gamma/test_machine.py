@@ -17,8 +17,8 @@ INDEXES = {"unique1": False, "unique2": True}
 
 
 @pytest.fixture(scope="module")
-def relation():
-    return make_wisconsin(cardinality=20_000, correlation="low", seed=21)
+def relation(wisconsin_factory):
+    return wisconsin_factory(20_000, correlation="low", seed=21)
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,60 @@
+"""Check / CheckGroup primitives and the markdown report renderer."""
+
+from repro.validation import Check, CheckGroup, render_report
+
+
+class TestCheck:
+    def test_status_strings(self):
+        assert Check("a", True).status == "PASS"
+        assert Check("a", False).status == "FAIL"
+
+    def test_frozen(self):
+        import dataclasses
+        import pytest
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            Check("a", True).passed = False
+
+
+class TestCheckGroup:
+    def test_add_coerces_truthiness(self):
+        group = CheckGroup("g")
+        check = group.add("x", 1, "detail")
+        assert check.passed is True
+        assert group.checks == [check]
+
+    def test_passed_and_failures(self):
+        group = CheckGroup("g")
+        group.add("ok", True)
+        assert group.passed
+        bad = group.add("bad", False)
+        assert not group.passed
+        assert group.failures == [bad]
+
+    def test_empty_group_passes(self):
+        assert CheckGroup("g").passed
+
+
+class TestRenderReport:
+    def test_all_pass_verdict(self):
+        group = CheckGroup("Trends", note="context line")
+        group.add("winner", True, "magic tops")
+        report = render_report([group])
+        assert "# Conformance report" in report
+        assert "**PASS** -- 1/1 checks passed across 1 sections." in report
+        assert "## [x] Trends" in report
+        assert "context line" in report
+        assert "| winner | PASS | magic tops |" in report
+
+    def test_failure_verdict_and_marker(self):
+        group = CheckGroup("Oracle")
+        group.add("a", True)
+        group.add("b", False, "off by 10x")
+        report = render_report([group], title="Nightly")
+        assert "# Nightly" in report
+        assert "**FAIL** -- 1/2 checks passed" in report
+        assert "## [ ] Oracle" in report
+
+    def test_pipes_escaped_in_detail(self):
+        group = CheckGroup("g")
+        group.add("c", True, "a|b")
+        assert "a\\|b" in render_report([group])

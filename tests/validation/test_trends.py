@@ -1,0 +1,109 @@
+"""TrendSpec evaluation against synthetic figure series."""
+
+from repro.experiments.config import FIGURES
+from repro.experiments.runner import FigureResult
+from repro.gamma import RunResult
+from repro.validation import TREND_SPECS, TrendSpec, evaluate_trends
+
+
+def _run(mpl, throughput):
+    return RunResult(multiprogramming_level=mpl, throughput=throughput,
+                     completed=100, elapsed_seconds=100.0 / throughput,
+                     response_time_mean=mpl / throughput)
+
+
+def _figure(series, num_sites=32, figure="8a"):
+    return FigureResult(config=FIGURES[figure], cardinality=10_000,
+                        num_sites=num_sites, measured_queries=100,
+                        series={s: [_run(m, t) for m, t in pts]
+                                for s, pts in series.items()})
+
+
+GOOD_8A = {
+    "magic": [(1, 30.0), (8, 200.0), (24, 470.0)],
+    "berd": [(1, 28.0), (8, 170.0), (24, 320.0)],
+    "range": [(1, 29.0), (8, 150.0), (24, 230.0)],
+}
+
+
+class TestSpecRegistry:
+    def test_every_figure_has_a_spec(self):
+        assert set(TREND_SPECS) == set(FIGURES)
+
+    def test_specs_derive_from_expectations(self):
+        spec = TREND_SPECS["8a"]
+        expected = FIGURES["8a"].expected
+        assert spec.order == expected.order
+        assert spec.min_final_ratio == expected.min_ratio
+
+
+class TestEvaluateTrends:
+    def test_conforming_series_passes(self):
+        group = evaluate_trends(_figure(GOOD_8A))
+        assert group.passed, [str(c) for c in group.failures]
+        names = [c.name for c in group.checks]
+        assert "winner=magic" in names
+        assert "ordering" in names
+        assert "gap" in names
+        assert "monotone[magic]" in names
+
+    def test_wrong_winner_fails(self):
+        series = dict(GOOD_8A, magic=[(1, 30.0), (8, 140.0), (24, 200.0)])
+        group = evaluate_trends(_figure(series))
+        failed = {c.name for c in group.failures}
+        assert "winner=magic" in failed
+
+    def test_ordering_relaxed_on_small_machines(self):
+        # BERD below range: wrong complete order, but at 4 sites only
+        # the winner and gap are asserted.
+        series = dict(GOOD_8A, berd=[(1, 20.0), (8, 100.0), (24, 180.0)])
+        group = evaluate_trends(_figure(series, num_sites=4))
+        ordering = next(c for c in group.checks if c.name == "ordering")
+        assert ordering.passed
+        assert "not asserted at 4 sites" in ordering.detail
+        # The same series on a paper-size machine fails the ordering.
+        group = evaluate_trends(_figure(series, num_sites=32))
+        assert not next(c for c in group.checks
+                        if c.name == "ordering").passed
+
+    def test_gap_bounds(self):
+        spec = TrendSpec(figure="8a", order=("magic", "berd", "range"),
+                         min_final_ratio=2.0)
+        group = evaluate_trends(_figure(GOOD_8A), spec)  # ratio ~1.47
+        assert not next(c for c in group.checks if c.name == "gap").passed
+
+    def test_pre_saturation_drop_fails_monotonicity(self):
+        series = dict(GOOD_8A,
+                      range=[(1, 29.0), (8, 100.0), (16, 60.0),
+                             (24, 230.0)])
+        group = evaluate_trends(_figure(series))
+        mono = next(c for c in group.checks if c.name == "monotone[range]")
+        assert not mono.passed
+        assert "drop before saturation" in mono.detail
+
+    def test_post_peak_decline_allowed(self):
+        # Thrashing past saturation is expected; only the climb must be
+        # monotone.
+        series = dict(GOOD_8A,
+                      magic=[(1, 30.0), (8, 200.0), (24, 470.0),
+                             (32, 380.0)])
+        group = evaluate_trends(_figure(series))
+        assert next(c for c in group.checks
+                    if c.name == "monotone[magic]").passed
+
+    def test_winner_asserted_at_every_high_mpl(self):
+        # The winner dips below a rival at MPL 16 even though it tops
+        # the final point: the series-wide check catches it.
+        series = {
+            "magic": [(1, 30.0), (8, 200.0), (16, 100.0), (24, 470.0)],
+            "berd": [(1, 28.0), (8, 170.0), (16, 250.0), (24, 320.0)],
+            "range": [(1, 29.0), (8, 150.0), (16, 180.0), (24, 230.0)],
+        }
+        group = evaluate_trends(_figure(series))
+        assert not next(c for c in group.checks
+                        if c.name == "winner=magic").passed
+
+    def test_missing_strategies_fail_fast(self):
+        group = evaluate_trends(_figure({"magic": [(1, 30.0)]}))
+        assert not group.passed
+        assert group.checks[0].name == "series"
