@@ -24,7 +24,6 @@ Typical use::
 
 from .environment import Environment, NORMAL, URGENT
 from .events import (
-    AgendaEmptyError,
     AllOf,
     AnyOf,
     Event,
@@ -48,7 +47,6 @@ __all__ = [
     "AnyOf",
     "Interrupted",
     "SimulationError",
-    "AgendaEmptyError",
     "Resource",
     "PriorityResource",
     "Request",

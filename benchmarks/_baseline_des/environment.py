@@ -1,0 +1,169 @@
+"""The discrete-event simulation environment (event loop and clock).
+
+:class:`Environment` owns the simulation clock and the agenda (a priority
+queue of triggered events ordered by firing time).  It is deliberately
+minimal -- the entire Gamma machine model in :mod:`repro.gamma` is built
+from processes and resources running inside one environment.
+
+Determinism
+-----------
+Two events scheduled for the same instant are processed in the order they
+were scheduled (FIFO tie-break via a monotonically increasing sequence
+number), with an optional integer *priority* that lets urgent work (e.g.
+the disk DMA transfers of the paper's CPU model) jump ahead of same-time
+normal events.  Given the same seed for workload randomness, a simulation
+run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from .events import AllOf, AnyOf, Event, Process, Timeout
+
+__all__ = ["Environment", "URGENT", "NORMAL"]
+
+#: Agenda priority for urgent events (processed before NORMAL at equal times).
+URGENT = 0
+#: Default agenda priority.
+NORMAL = 1
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Example
+    -------
+    >>> env = Environment()
+    >>> def clock(env, results):
+    ...     while env.now < 3:
+    ...         results.append(env.now)
+    ...         yield env.timeout(1)
+    >>> ticks = []
+    >>> _ = env.process(clock(env, ticks))
+    >>> env.run()
+    >>> ticks
+    [0, 1, 2]
+    """
+
+    def __init__(self, initial_time: float = 0.0,
+                 tolerate_process_failures: bool = False):
+        self._now = float(initial_time)
+        self._agenda: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        # Optional conservation-law observer (see repro.validation): when
+        # attached, step() reports each popped event's firing time so the
+        # checker can assert clock monotonicity.  None costs one attribute
+        # load per event.
+        self.invariants: Optional[Any] = None
+        # When True, a process that dies with an unhandled exception fails
+        # its Process event instead of crashing the whole simulation --
+        # failure-injection experiments wait on the Process event and
+        # observe the exception.  The Gamma model keeps the default
+        # (False): a crashing component is a bug and should surface
+        # immediately.
+        self._tolerate_process_failures = bool(tolerate_process_failures)
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # -- event factories -----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires *delay* time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start *generator* as a simulation process."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        """Event that fires once all *events* have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event that fires once any of *events* has fired."""
+        return AnyOf(self, events)
+
+    # -- agenda ---------------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float = 0.0,
+                 priority: int = NORMAL) -> None:
+        """Place a triggered *event* on the agenda ``delay`` from now."""
+        self._seq += 1
+        heapq.heappush(self._agenda, (self._now + delay, priority, self._seq, event))
+
+    def schedule_urgent(self, event: Event, delay: float = 0.0) -> None:
+        """Trigger *event* (successfully, no value) with URGENT priority."""
+        if event.triggered:
+            raise RuntimeError(f"{event!r} has already been triggered")
+        event._value = None
+        self._enqueue(event, delay=delay, priority=URGENT)
+
+    def peek(self) -> float:
+        """Time of the next agenda entry, or ``inf`` when the agenda is empty."""
+        return self._agenda[0][0] if self._agenda else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event.
+
+        Raises :class:`IndexError` when the agenda is empty.
+        """
+        when, _prio, _seq, event = heapq.heappop(self._agenda)
+        if self.invariants is not None:
+            self.invariants.on_event(when, self._now)
+        self._now = when
+        event._run_callbacks()
+
+    # -- run loops --------------------------------------------------------------
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` -- run until the agenda is exhausted;
+        * a number -- run until the clock reaches that time (the clock is
+          left exactly at ``until``);
+        * an :class:`Event` -- run until that event has been processed and
+          return its value (re-raising its exception if it failed).
+        """
+        if until is None:
+            while self._agenda:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel.processed:
+                if not self._agenda:
+                    raise RuntimeError(
+                        "simulation agenda ran dry before the awaited event fired")
+                self.step()
+            return sentinel.value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"cannot run until {horizon!r}, now is {self._now!r}")
+        while self._agenda and self._agenda[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Environment now={self._now!r} agenda={len(self._agenda)}>"

@@ -14,29 +14,10 @@ The public surface is:
   the generator terminates.
 * :class:`AllOf` / :class:`AnyOf` -- condition events over several events.
 * :class:`Interrupted` -- exception thrown into an interrupted process.
-
-Hot-path design
----------------
-The kernel processes millions of events per figure, so the frequent paths
-avoid work the original, more uniform design paid per event:
-
-* Immediate deliveries (process bootstrap, callbacks registered on an
-  already-processed event, interrupts) go through the environment's
-  shared dispatch path (``Environment._dispatch``) as plain agenda
-  entries instead of allocating proxy :class:`Event` objects.  A
-  dispatch entry consumes one agenda sequence number, exactly like the
-  proxy event it replaces, so the event ordering -- and therefore every
-  simulated result -- is bit-identical to the proxy-based design.
-* :class:`Process` caches the bound ``_resume`` callback and the
-  generator's ``send``/``throw`` methods once at creation; the original
-  allocated a fresh bound method per yield.
-* :meth:`Event.succeed`, :meth:`Event.fail` and ``Timeout.__init__``
-  push their agenda entry inline rather than via a method call.
 """
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -50,24 +31,11 @@ __all__ = [
     "AnyOf",
     "Interrupted",
     "SimulationError",
-    "AgendaEmptyError",
 ]
-
-#: Agenda priority for urgent events (processed before NORMAL at equal
-#: times).  Defined here -- not in :mod:`.environment` -- so the hot
-#: constructors below can push agenda entries without a circular import;
-#: the environment module re-exports both names.
-URGENT = 0
-#: Default agenda priority.
-NORMAL = 1
 
 
 class SimulationError(Exception):
     """Base class for errors raised by the simulation kernel."""
-
-
-class AgendaEmptyError(SimulationError):
-    """The agenda ran dry while the run loop still awaited an event."""
 
 
 class Interrupted(SimulationError):
@@ -84,35 +52,6 @@ class Interrupted(SimulationError):
 
 # Sentinel distinguishing "no value yet" from an explicit ``None`` value.
 _PENDING = object()
-
-
-class _Outcome:
-    """A minimal value/exception carrier for immediate dispatches.
-
-    Quacks like a triggered :class:`Event` for the two fields
-    :meth:`Process._resume` reads, without the agenda bookkeeping a real
-    event carries.
-    """
-
-    __slots__ = ("_value", "_exception")
-
-    def __init__(self, value: Any = None,
-                 exception: Optional[BaseException] = None):
-        self._value = value
-        self._exception = exception
-
-
-#: Shared successful no-value outcome used to bootstrap every process.
-_BOOTSTRAP = _Outcome()
-
-#: Outcome delivered to a process waking from a bare-float sleep; the
-#: generator receives ``None``, exactly as from an untagged Timeout.
-_WAKE = _Outcome()
-
-#: Marker stored in ``Process._waiting_on`` while the process sleeps on
-#: a bare delay.  There is no event to detach a callback from, so
-#: interrupting in this state is rejected.
-_SLEEPING = object()
 
 
 class Event:
@@ -173,51 +112,45 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with *value* and return it."""
-        if self._value is not _PENDING or self._exception is not None:
+        if self.triggered:
             raise SimulationError(f"{self!r} has already been triggered")
         self._value = value
-        env = self.env
-        env._seq += 1
-        heappush(env._agenda, (env._now, NORMAL, env._seq, self))
+        self.env._enqueue(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event as failed with *exception* and return it."""
-        if self._value is not _PENDING or self._exception is not None:
+        if self.triggered:
             raise SimulationError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
         self._exception = exception
         self._value = None
-        env = self.env
-        env._seq += 1
-        heappush(env._agenda, (env._now, NORMAL, env._seq, self))
+        self.env._enqueue(self)
         return self
 
     # -- internals -------------------------------------------------------
 
     def _add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Register *callback*; runs it via the agenda if already processed."""
-        callbacks = self.callbacks
-        if callbacks is None:
-            # Already processed: deliver through the shared dispatch path
-            # so the callback still runs from the event loop, never
-            # re-entrantly.
-            self.env._dispatch(callback, self)
+        if self.callbacks is None:
+            # Already processed: deliver on a fresh immediate event so the
+            # callback still runs from the event loop, never re-entrantly.
+            proxy = Event(self.env)
+            proxy._value = self._value
+            proxy._exception = self._exception
+            proxy.callbacks.append(lambda _e: callback(self))
+            self.env._enqueue(proxy)
         else:
-            callbacks.append(callback)
+            self.callbacks.append(callback)
 
     def _run_callbacks(self) -> None:
         """Invoked by the environment when the event is dequeued."""
-        callbacks = self.callbacks
-        self.callbacks = None
+        callbacks, self.callbacks = self.callbacks, None
         self._processed = True
         if callbacks:
-            if len(callbacks) == 1:
-                callbacks[0](self)
-            else:
-                for callback in callbacks:
-                    callback(self)
+            for callback in callbacks:
+                callback(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "processed" if self._processed else (
@@ -237,17 +170,10 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        # Inlined Event.__init__ plus the agenda push: a timeout is the
-        # single most common event, created once per simulated service
-        # burst.
-        self.env = env
-        self.callbacks = []
-        self._value = value
-        self._exception = None
-        self._processed = False
+        super().__init__(env)
         self.delay = delay
-        env._seq += 1
-        heappush(env._agenda, (env._now + delay, NORMAL, env._seq, self))
+        self._value = value
+        env._enqueue(self, delay=delay)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Timeout delay={self.delay!r}>"
@@ -262,24 +188,20 @@ class Process(Event):
     finish simply by yielding it.
     """
 
-    __slots__ = ("_generator", "_waiting_on", "_send", "_throw",
-                 "_resume_cb")
+    __slots__ = ("_generator", "_waiting_on")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
-        # Bound-method caches: one allocation here instead of one per
-        # resume (``_send``/``_throw``) and per wait registration
-        # (``_resume_cb``).
-        self._send = generator.send
-        self._throw = generator.throw
-        self._resume_cb = self._resume
         self._waiting_on: Optional[Event] = None
-        # Kick off the process via the dispatch path so that creation has
+        # Kick off the process via an immediate event so that creation has
         # no side effects until the event loop runs.
-        env._dispatch(self._resume_cb, _BOOTSTRAP)
+        bootstrap = Event(env)
+        bootstrap._value = None
+        bootstrap._add_callback(self._resume)
+        env._enqueue(bootstrap)
 
     @property
     def is_alive(self) -> bool:
@@ -296,121 +218,68 @@ class Process(Event):
         if self.triggered:
             raise SimulationError("cannot interrupt a finished process")
         waited = self._waiting_on
-        if waited is _SLEEPING:
-            raise SimulationError(
-                "cannot interrupt a process sleeping on a bare delay; "
-                "wait on env.timeout() where interruption is needed")
         if waited is not None and waited.callbacks is not None:
             try:
-                waited.callbacks.remove(self._resume_cb)
+                waited.callbacks.remove(self._resume)
             except ValueError:
                 pass
         self._waiting_on = None
         # Deliver the interrupt through the agenda to keep the kernel
         # non-reentrant.
-        self.env._dispatch(self._resume_cb, _Outcome(None, Interrupted(cause)))
+        proxy = Event(self.env)
+        proxy._exception = Interrupted(cause)
+        proxy._value = None
+        proxy.callbacks.append(self._resume)
+        self.env._enqueue(proxy)
 
     # -- generator stepping ----------------------------------------------
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of *event*."""
-        # _waiting_on is deliberately NOT cleared here: it is overwritten
-        # at the tail for a live process, and a finished process rejects
-        # interrupt() on the triggered check before ever reading it.
-        env = self.env
-        env._active_process = self
+        self._waiting_on = None
+        self.env._active_process = self
         try:
-            if event._exception is None:
-                target = self._send(event._value)
+            if event._exception is not None:
+                target = self._generator.throw(event._exception)
             else:
-                target = self._throw(event._exception)
+                target = self._generator.send(event._value)
         except StopIteration as stop:
-            env._active_process = None
             self._value = stop.value
-            env._seq += 1
-            if self.callbacks:
-                heappush(env._agenda, (env._now, NORMAL, env._seq, self))
-            else:
-                # Nobody is waiting (fire-and-forget processes: message
-                # deliveries, per-query operator work, terminals).  The
-                # sequence number is consumed exactly as if the
-                # completion entry had been pushed -- every later entry
-                # keeps the seq it would have had, so ordering is
-                # untouched -- but the agenda round-trip is skipped and
-                # the event settles to its processed state here.  A
-                # late waiter lands on the ``callbacks is None``
-                # dispatch path below, as for any processed event.
-                self.callbacks = None
-                self._processed = True
+            self.env._enqueue(self)
             return
         except Interrupted as exc:
             # An unhandled interrupt terminates the process as failed.
-            env._active_process = None
             self._exception = exc
             self._value = None
-            env._seq += 1
-            if self.callbacks:
-                heappush(env._agenda, (env._now, NORMAL, env._seq, self))
-            else:
-                self.callbacks = None
-                self._processed = True
+            self.env._enqueue(self)
             return
         except BaseException as exc:
-            env._active_process = None
             self._exception = exc
             self._value = None
-            env._seq += 1
-            if self.callbacks:
-                heappush(env._agenda, (env._now, NORMAL, env._seq, self))
-            else:
-                self.callbacks = None
-                self._processed = True
-            if not env._tolerate_process_failures:
+            self.env._enqueue(self)
+            if not self.env._tolerate_process_failures:
                 raise
             return
-        env._active_process = None
+        finally:
+            self.env._active_process = None
 
-        # Bare sleep: yielding a plain float schedules the wake entry
-        # directly -- no Timeout allocation, no callback registration,
-        # and no event processing when the entry surfaces, the three
-        # costs an uninterruptible service delay does not need.  One
-        # sequence number is consumed exactly as env.timeout() would
-        # consume it, so agenda ordering is bit-identical.
-        if type(target) is float:
-            if target < 0.0:
-                raise SimulationError(f"negative sleep delay {target!r}")
-            env._seq += 1
-            heappush(env._agenda,
-                     (env._now + target, NORMAL, env._seq,
-                      self._resume_cb, _WAKE))
-            self._waiting_on = _SLEEPING
-            return
-
-        # Duck-typed instead of isinstance(): every yield pays for this
-        # check, and non-events surface through the except below.
-        try:
-            callbacks = target.callbacks
-            if target.env is not env:
+        if not isinstance(target, Event):
+            # Forward-compat shim, not part of the original kernel: the
+            # shared model source now sleeps by yielding bare floats.
+            # Waiting on a freshly scheduled Timeout is exactly what the
+            # pre-change model did per service burst (env.timeout() call,
+            # Timeout allocation, callback registration, event processing
+            # on pop), so the baseline measurement keeps its original
+            # per-sleep cost profile.
+            if isinstance(target, (int, float)) and not isinstance(target, bool):
+                target = self.env.timeout(target)
+            else:
                 raise SimulationError(
-                    "cannot wait on an event of another Environment")
-        except AttributeError:
-            if type(target) is int:  # integral delays take the slow lane
-                if target < 0:
-                    raise SimulationError(
-                        f"negative sleep delay {target!r}") from None
-                env._seq += 1
-                heappush(env._agenda,
-                         (env._now + target, NORMAL, env._seq,
-                          self._resume_cb, _WAKE))
-                self._waiting_on = _SLEEPING
-                return
-            raise SimulationError(
-                f"process yielded {target!r}, which is not an Event") from None
+                    f"process yielded {target!r}, which is not an Event")
+        if target.env is not self.env:
+            raise SimulationError("cannot wait on an event of another Environment")
         self._waiting_on = target
-        if callbacks is None:
-            env._dispatch(self._resume_cb, target)
-        else:
-            callbacks.append(self._resume_cb)
+        target._add_callback(self._resume)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         name = getattr(self._generator, "__name__", "process")

@@ -21,9 +21,6 @@ __all__ = ["TallyMonitor", "TimeWeightedMonitor", "UtilizationMonitor"]
 class TallyMonitor:
     """Accumulates discrete observations (e.g. per-query response times)."""
 
-    __slots__ = ("name", "_count", "_sum", "_sum_sq", "_min", "_max",
-                 "_samples")
-
     def __init__(self, name: str = ""):
         self.name = name
         self._count = 0
@@ -43,10 +40,8 @@ class TallyMonitor:
         self._count += 1
         self._sum += value
         self._sum_sq += value * value
-        if self._min is None or value < self._min:
-            self._min = value
-        if self._max is None or value > self._max:
-            self._max = value
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
         if self._samples is not None:
             self._samples.append(value)
 
@@ -98,15 +93,7 @@ class TallyMonitor:
 
 
 class TimeWeightedMonitor:
-    """Time-average of a piecewise-constant quantity (queue length etc.).
-
-    The accumulator fields are updated inline by the ``Resource``
-    request/release hot paths (see :mod:`repro.des.resources`); keep
-    them in sync with any change here.
-    """
-
-    __slots__ = ("name", "_level", "_last_change", "_area", "_start",
-                 "_max")
+    """Time-average of a piecewise-constant quantity (queue length etc.)."""
 
     def __init__(self, name: str = "", initial: float = 0.0, now: float = 0.0):
         self.name = name
@@ -123,16 +110,14 @@ class TimeWeightedMonitor:
         step would silently subtract area and corrupt every later
         :meth:`time_average`.
         """
-        last = self._last_change
-        if now < last:
+        if now < self._last_change:
             raise ValueError(
                 f"observation at t={now} precedes the last change at "
-                f"t={last} ({self.name or 'monitor'})")
-        self._area += self._level * (now - last)
+                f"t={self._last_change} ({self.name or 'monitor'})")
+        self._area += self._level * (now - self._last_change)
         self._level = level
         self._last_change = now
-        if level > self._max:
-            self._max = level
+        self._max = max(self._max, level)
 
     def reset(self, now: float) -> None:
         """Restart averaging at *now*, keeping the current level."""
@@ -160,8 +145,6 @@ class TimeWeightedMonitor:
 
 class UtilizationMonitor(TimeWeightedMonitor):
     """Tracks a resource's busy-server count; attach via ``attach``."""
-
-    __slots__ = ("_capacity",)
 
     @classmethod
     def attach(cls, resource, name: str = "") -> "UtilizationMonitor":

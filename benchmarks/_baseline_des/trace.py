@@ -1,0 +1,122 @@
+"""Event tracing for simulation debugging.
+
+A :class:`Tracer` records a bounded, timestamped log of named events.
+Components call ``tracer.record(kind, **details)``; tests and debugging
+sessions filter and render the log.  Tracing is opt-in and costs nothing
+when no tracer is installed.
+
+Example::
+
+    tracer = Tracer(env, capacity=10_000)
+    tracer.record("disk.read", node=3, cylinder=120, pages=1)
+    ...
+    for entry in tracer.query(kind="disk.read", node=3):
+        print(entry)
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterator, Optional
+
+from .environment import Environment
+
+__all__ = ["TraceEntry", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded event."""
+
+    time: float
+    sequence: int
+    kind: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        detail = " ".join(f"{k}={v}" for k, v in self.details.items())
+        return f"[{self.time:12.6f}] {self.kind} {detail}".rstrip()
+
+
+class Tracer:
+    """A bounded in-memory event log bound to one environment.
+
+    Keeps at most *capacity* entries (oldest evicted first) so a long
+    simulation cannot exhaust memory; eviction is counted so tests can
+    detect truncation.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 100_000):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._entries: Deque[TraceEntry] = deque(maxlen=capacity)
+        self._sequence = 0
+        self.evicted = 0
+        self._kind_counts: Counter = Counter()
+
+    def record(self, kind: str, **details: Any) -> TraceEntry:
+        """Append one event at the current simulation time."""
+        self._sequence += 1
+        entry = TraceEntry(time=self.env.now, sequence=self._sequence,
+                           kind=kind, details=details)
+        if len(self._entries) == self.capacity:
+            self.evicted += 1
+        self._entries.append(entry)
+        self._kind_counts[kind] += 1
+        return entry
+
+    def detach(self) -> "Tracer":
+        """Drop the environment reference (picklable, read-only log).
+
+        Recorded entries survive; :meth:`record` must not be called on
+        a detached tracer.
+        """
+        self.env = None
+        return self
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["env"] = None
+        return state
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self._entries)
+
+    def query(self, kind: Optional[str] = None,
+              since: float = float("-inf"),
+              until: float = float("inf"),
+              **details: Any) -> Iterator[TraceEntry]:
+        """Entries matching the kind, time window and detail filters."""
+        for entry in self._entries:
+            if kind is not None and entry.kind != kind:
+                continue
+            if not since <= entry.time <= until:
+                continue
+            if any(entry.details.get(k) != v for k, v in details.items()):
+                continue
+            yield entry
+
+    def count(self, kind: str) -> int:
+        """Total events of *kind* recorded (including evicted ones)."""
+        return self._kind_counts[kind]
+
+    def kinds(self) -> Dict[str, int]:
+        """All kinds seen with their total counts."""
+        return dict(self._kind_counts)
+
+    def clear(self) -> None:
+        """Drop all entries (counters included)."""
+        self._entries.clear()
+        self._kind_counts.clear()
+        self.evicted = 0
+
+    def render(self, limit: int = 50) -> str:
+        """The last *limit* entries, one per line."""
+        tail = list(self._entries)[-limit:]
+        return "\n".join(str(entry) for entry in tail)

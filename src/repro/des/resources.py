@@ -11,16 +11,27 @@ Three primitives cover everything the Gamma model needs:
   queued normal work without preempting the request in service.
 * :class:`Store` -- an unbounded FIFO of items with blocking ``get``; the
   message queue of every manager process.
+
+Hot-path design
+---------------
+``request`` grants immediately -- no queue round-trip -- when a server
+is free and nobody waits (the overwhelmingly common case in the Gamma
+model, where most CPU bursts and NIC holds find the server idle).  The
+grant value and monitor observation are identical to the queued path's,
+so simulated results do not depend on which path ran.
+:class:`PriorityResource` cancels queued requests by tombstoning their
+heap entry (O(1)) instead of scanning and re-heapifying (O(n)); the
+tombstones are skipped lazily when the scheduler pops the next grant.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
-from typing import Any, Deque, List, Optional, Tuple
+from heapq import heappop, heappush
+from typing import Any, Deque, Dict, List, Optional
 
 from .environment import Environment
-from .events import Event, SimulationError
+from .events import _PENDING, NORMAL, Event, SimulationError
 
 __all__ = ["Request", "Resource", "PriorityResource", "Store"]
 
@@ -39,10 +50,17 @@ class Request(Event):
     __slots__ = ("resource", "priority", "enqueued_at")
 
     def __init__(self, resource: "Resource", priority: int):
-        super().__init__(resource.env)
+        # Inlined Event.__init__: requests are created once per service
+        # burst, right on the hot path.
+        env = resource.env
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._exception = None
+        self._processed = False
         self.resource = resource
         self.priority = priority
-        self.enqueued_at = resource.env.now
+        self.enqueued_at = env._now
 
     def __enter__(self) -> "Request":
         return self
@@ -59,6 +77,9 @@ class Request(Event):
 class Resource:
     """A pool of ``capacity`` identical servers with FCFS queueing."""
 
+    __slots__ = ("env", "capacity", "_users", "_queue", "_waiting",
+                 "monitor")
+
     def __init__(self, env: Environment, capacity: int = 1):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity!r}")
@@ -66,6 +87,10 @@ class Resource:
         self.capacity = capacity
         self._users: List[Request] = []
         self._queue: Deque[Request] = deque()
+        #: Live queued requests; kept in sync by _enqueue/_pop_next/
+        #: _discard so the hot paths never measure the queue itself
+        #: (PriorityResource's queue also holds tombstones).
+        self._waiting = 0
         # Monitoring hooks (populated lazily by des.monitor.UtilizationMonitor).
         self.monitor = None
 
@@ -79,13 +104,52 @@ class Resource:
     @property
     def queue_length(self) -> int:
         """Number of requests waiting for a grant."""
-        return len(self._queue)
+        return self._waiting
 
     def request(self, priority: int = 0) -> Request:
         """Claim one server; the returned event fires when granted."""
-        req = Request(self, priority)
-        self._enqueue(req)
-        self._grant_next()
+        # Request.__init__ inlined (the constructor stays equivalent
+        # for direct instantiation): one burst, one frame.
+        env = self.env
+        req = Request.__new__(Request)
+        req.env = env
+        req.callbacks = []
+        req._value = _PENDING
+        req._exception = None
+        req._processed = False
+        req.resource = self
+        req.priority = priority
+        req.enqueued_at = env._now
+        users = self._users
+        if not self._waiting and len(users) < self.capacity:
+            # Uncontended fast grant: a server is free and nobody is
+            # queued ahead, so succeed in place (inlined: the request is
+            # known untriggered).  The grant value (the wait duration)
+            # is exactly what the queued path would compute:
+            # now - enqueued_at == 0.0.
+            users.append(req)
+            req._value = 0.0
+            env._seq += 1
+            heappush(env._agenda, (env._now, NORMAL, env._seq, req))
+            monitor = self.monitor
+            if monitor is not None:
+                # TimeWeightedMonitor.observe inlined: the simulation
+                # clock never runs backwards inside the event loop, so
+                # the method's backwards guard is unreachable here.
+                now = env._now
+                monitor._area += monitor._level * (now
+                                                   - monitor._last_change)
+                level = len(users)
+                monitor._level = level
+                monitor._last_change = now
+                if level > monitor._max:
+                    monitor._max = level
+        else:
+            self._enqueue(req)
+            # With every server busy (the usual reason to queue) there
+            # is nothing to grant; skip the call.
+            if len(users) < self.capacity and self._grant_next():
+                self._note_change()
         return req
 
     def release(self, request: Request) -> None:
@@ -94,46 +158,84 @@ class Resource:
         Releasing an ungranted request cancels it (removes it from the
         queue); releasing twice is an error.
         """
-        if request in self._users:
-            self._users.remove(request)
-            self._note_change()
+        users = self._users
+        try:
+            users.remove(request)
+        except ValueError:
+            if self._discard(request):
+                return
+            if request.triggered:
+                raise SimulationError("request released twice") from None
+            raise SimulationError(  # pragma: no cover - defensive
+                "request does not belong to this resource") from None
+        if self._waiting:
             self._grant_next()
-        elif self._discard(request):
-            pass
-        elif request.triggered:
-            raise SimulationError("request released twice")
-        else:  # pragma: no cover - defensive
-            raise SimulationError("request does not belong to this resource")
+        # One observation per state transition: the release and any
+        # same-instant re-grant collapse into a single sample at the
+        # settled level (the original design double-observed the
+        # transient dip, inflating monitor sample counts).
+        monitor = self.monitor
+        if monitor is not None:
+            # TimeWeightedMonitor.observe inlined, as in request().
+            now = self.env._now
+            monitor._area += monitor._level * (now - monitor._last_change)
+            level = len(users)
+            monitor._level = level
+            monitor._last_change = now
+            if level > monitor._max:
+                monitor._max = level
 
     # -- queue discipline (overridden by PriorityResource) -----------------
 
     def _enqueue(self, request: Request) -> None:
         self._queue.append(request)
+        self._waiting += 1
 
     def _pop_next(self) -> Optional[Request]:
-        return self._queue.popleft() if self._queue else None
+        if self._queue:
+            self._waiting -= 1
+            return self._queue.popleft()
+        return None
 
     def _discard(self, request: Request) -> bool:
         try:
             self._queue.remove(request)
-            return True
         except ValueError:
             return False
+        self._waiting -= 1
+        return True
 
     # -- internals ----------------------------------------------------------
 
-    def _grant_next(self) -> None:
-        while len(self._users) < self.capacity:
-            nxt = self._pop_next()
-            if nxt is None:
-                break
-            self._users.append(nxt)
-            nxt.succeed(self.env.now - nxt.enqueued_at)
-            self._note_change()
+    def _grant_next(self) -> bool:
+        """Grant waiting requests while servers are free; True if any.
+
+        The queue pop is written out inline (instead of calling
+        :meth:`_pop_next`) because nearly every release of a contended
+        resource lands here; :class:`PriorityResource` overrides this
+        with the tombstone-skipping equivalent.
+        """
+        granted = False
+        users = self._users
+        capacity = self.capacity
+        env = self.env
+        queue = self._queue
+        while queue and len(users) < capacity:
+            nxt = queue.popleft()
+            self._waiting -= 1
+            users.append(nxt)
+            # Inlined succeed(now - enqueued_at): queued requests are
+            # untriggered by construction.
+            nxt._value = env._now - nxt.enqueued_at
+            env._seq += 1
+            heappush(env._agenda, (env._now, NORMAL, env._seq, nxt))
+            granted = True
+        return granted
 
     def _note_change(self) -> None:
-        if self.monitor is not None:
-            self.monitor.observe(self.env.now, len(self._users))
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.observe(self.env._now, len(self._users))
 
 
 class PriorityResource(Resource):
@@ -141,35 +243,69 @@ class PriorityResource(Resource):
 
     Within one priority class the discipline remains FCFS.  Grants are
     non-preemptive: an in-service request always completes.
+
+    Cancellation (releasing a still-queued request) tombstones the heap
+    entry in O(1) -- the entry's request slot is set to ``None`` and
+    skipped when it surfaces at the heap root -- instead of the O(n)
+    scan plus re-heapify of the original design.  ``queue_length``
+    counts live entries only.
     """
+
+    __slots__ = ("_pqueue", "_pentries", "_pseq")
 
     def __init__(self, env: Environment, capacity: int = 1):
         super().__init__(env, capacity)
-        self._pqueue: List[Tuple[int, int, Request]] = []
+        #: Heap of mutable ``[priority, seq, request-or-None]`` entries.
+        self._pqueue: List[List] = []
+        #: Live request -> its heap entry, for O(1) tombstoning.
+        self._pentries: Dict[Request, List] = {}
         self._pseq = 0
 
     def _enqueue(self, request: Request) -> None:
         self._pseq += 1
-        heapq.heappush(self._pqueue, (request.priority, self._pseq, request))
+        entry = [request.priority, self._pseq, request]
+        self._pentries[request] = entry
+        heappush(self._pqueue, entry)
+        self._waiting += 1
 
     def _pop_next(self) -> Optional[Request]:
-        while self._pqueue:
-            _prio, _seq, req = heapq.heappop(self._pqueue)
+        pqueue = self._pqueue
+        while pqueue:
+            req = heappop(pqueue)[2]
             if req is not None:
+                del self._pentries[req]
+                self._waiting -= 1
                 return req
         return None
 
     def _discard(self, request: Request) -> bool:
-        for i, (_prio, _seq, req) in enumerate(self._pqueue):
-            if req is request:
-                self._pqueue.pop(i)
-                heapq.heapify(self._pqueue)
-                return True
-        return False
+        entry = self._pentries.pop(request, None)
+        if entry is None:
+            return False
+        entry[2] = None  # lazy deletion: skipped by _pop_next
+        self._waiting -= 1
+        return True
 
-    @property
-    def queue_length(self) -> int:
-        return len(self._pqueue)
+    def _grant_next(self) -> bool:
+        """The base grant loop with the tombstone skip written inline."""
+        granted = False
+        users = self._users
+        capacity = self.capacity
+        env = self.env
+        pqueue = self._pqueue
+        pentries = self._pentries
+        while pqueue and len(users) < capacity:
+            nxt = heappop(pqueue)[2]
+            if nxt is None:
+                continue  # tombstone of a cancelled request
+            del pentries[nxt]
+            self._waiting -= 1
+            users.append(nxt)
+            nxt._value = env._now - nxt.enqueued_at
+            env._seq += 1
+            heappush(env._agenda, (env._now, NORMAL, env._seq, nxt))
+            granted = True
+        return granted
 
 
 class Store:
@@ -178,7 +314,15 @@ class Store:
     ``put`` never blocks.  ``get`` returns an event that fires with the
     oldest item as soon as one is available (immediately if the store is
     non-empty).  Items are delivered in put-order to getters in get-order.
+
+    A get event must be waited on promptly: a getter whose callback list
+    is empty at ``put`` time (its waiter was interrupted mid-wait, so
+    nothing can ever consume the value) is treated as abandoned and
+    skipped, keeping the item for the next live getter instead of
+    silently losing the message.
     """
+
+    __slots__ = ("env", "_items", "_getters")
 
     def __init__(self, env: Environment):
         self.env = env
@@ -189,18 +333,40 @@ class Store:
         return len(self._items)
 
     def put(self, item: Any) -> None:
-        """Add *item*; wakes the oldest waiting getter, if any."""
-        if self._getters:
-            self._getters.popleft().succeed(item)
-        else:
-            self._items.append(item)
+        """Add *item*; wakes the oldest *live* waiting getter, if any."""
+        getters = self._getters
+        while getters:
+            getter = getters.popleft()
+            if getter.callbacks:
+                # Inlined getter.succeed(item): a queued getter is
+                # untriggered by construction.
+                getter._value = item
+                env = self.env
+                env._seq += 1
+                heappush(env._agenda, (env._now, NORMAL, env._seq, getter))
+                return
+            # Orphaned getter (interrupted waiter): drop it and keep
+            # looking -- succeeding it would make the item vanish.
+        self._items.append(item)
 
     def get(self) -> Event:
         """Event firing with the next item (FIFO)."""
-        event = Event(self.env)
-        if self._items:
-            event.succeed(self._items.popleft())
+        # Built without Event.__init__ (and, when an item is ready,
+        # without Event.succeed): one get per delivered message makes
+        # these two frames visible in figure-scale profiles.
+        env = self.env
+        event = Event.__new__(Event)
+        event.env = env
+        event.callbacks = []
+        event._exception = None
+        event._processed = False
+        items = self._items
+        if items:
+            event._value = items.popleft()
+            env._seq += 1
+            heappush(env._agenda, (env._now, NORMAL, env._seq, event))
         else:
+            event._value = _PENDING
             self._getters.append(event)
         return event
 

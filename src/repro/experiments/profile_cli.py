@@ -1,0 +1,160 @@
+"""Command-line entry point: ``repro-profile``.
+
+Profiles one simulated figure point under :mod:`cProfile` and prints
+the top functions, so kernel and model hot spots are visible without
+hand-rolling a harness.  The workload is the same single-point
+simulation the throughput benchmark times: one strategy at one
+multiprogramming level of the figure-8a query mix, with relation
+generation and placement construction excluded from the profile.
+Examples::
+
+    repro-profile                                # range @ mpl 16
+    repro-profile --strategy magic --mpl 64
+    repro-profile --sort cumulative --top 40
+    repro-profile --json profile.json            # machine-readable dump
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import pstats
+import sys
+from typing import List, Optional
+
+from .config import FIGURES
+from .plan import (
+    GAMMA_PARAMETERS,
+    PAPER_INDEXES,
+    compile_point,
+    make_mix,
+    placement_for_spec,
+)
+
+__all__ = ["main", "build_parser", "profile_point"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-profile",
+        description="cProfile one simulated figure point (the workload "
+                    "the DES throughput benchmark times) and print the "
+                    "hottest functions.")
+    parser.add_argument("--figure", choices=sorted(FIGURES), default="8a",
+                        help="figure configuration (default: 8a)")
+    parser.add_argument("--strategy", default="range",
+                        help="declustering strategy (default: range)")
+    parser.add_argument("--mpl", type=int, default=16,
+                        help="multiprogramming level (default: 16)")
+    parser.add_argument("--cardinality", type=int, default=100_000,
+                        help="relation cardinality (default: 100000)")
+    parser.add_argument("--processors-count", type=int, default=32,
+                        dest="num_sites",
+                        help="processor count (default: 32)")
+    parser.add_argument("--measured", type=int, default=100,
+                        help="measured queries (default: 100)")
+    parser.add_argument("--seed", type=int, default=13,
+                        help="workload seed (default: 13)")
+    parser.add_argument("--top", type=int, default=25,
+                        help="rows to print per table (default: 25)")
+    parser.add_argument("--sort", choices=["tottime", "cumulative"],
+                        default="tottime",
+                        help="stat the table is ordered by "
+                             "(default: tottime)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also dump the rows (plus run metadata) "
+                             "as JSON; '-' for stdout")
+    return parser
+
+
+def profile_point(figure: str, strategy: str, mpl: int, cardinality: int,
+                  num_sites: int, measured: int, seed: int):
+    """Run one point under cProfile; returns ``(stats, result)``."""
+    from ..gamma.machine import GammaMachine
+
+    spec = compile_point(
+        FIGURES[figure], strategy, multiprogramming_level=mpl,
+        cardinality=cardinality, num_sites=num_sites,
+        measured_queries=measured, seed=seed).spec
+    # Built outside the profile: the simulation is the subject, not the
+    # NumPy relation/placement construction.
+    placement = placement_for_spec(spec)
+    mix = make_mix(spec.mix_name, domain=spec.cardinality,
+                   qb_low_tuples=spec.qb_low_tuples)
+    machine = GammaMachine(placement, indexes=PAPER_INDEXES,
+                           params=GAMMA_PARAMETERS, seed=spec.machine_seed)
+    # The confidence-interval code lazily imports scipy inside run();
+    # pull it in now so a one-time import doesn't dominate the profile.
+    try:
+        import scipy.stats  # noqa: F401
+    except ImportError:  # pragma: no cover - scipy is optional there
+        pass
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = machine.run(mix, multiprogramming_level=mpl,
+                         measured_queries=measured)
+    profiler.disable()
+    return pstats.Stats(profiler), result
+
+
+def _rows(stats: pstats.Stats, sort: str, top: int):
+    """The top *top* rows of *stats* ordered by *sort*, as dicts."""
+    items = []
+    for (filename, lineno, name), (cc, nc, tottime, cumtime, _callers) \
+            in stats.stats.items():
+        items.append({
+            "function": name,
+            "location": f"{filename}:{lineno}",
+            "calls": nc,
+            "primitive_calls": cc,
+            "tottime": tottime,
+            "cumtime": cumtime,
+        })
+    items.sort(key=lambda row: row[sort], reverse=True)
+    return items[:top]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    stats, result = profile_point(
+        args.figure, args.strategy, args.mpl, args.cardinality,
+        args.num_sites, args.measured, args.seed)
+    rows = _rows(stats, args.sort, args.top)
+
+    header = (f"figure {args.figure}, strategy {args.strategy}, "
+              f"mpl {args.mpl}, {args.measured} measured queries "
+              f"(throughput {result.throughput:.2f} q/s)")
+    print(header)
+    print(f"top {len(rows)} by {args.sort}:")
+    print(f"{'calls':>9}  {'tottime':>9}  {'cumtime':>9}  function")
+    for row in rows:
+        print(f"{row['calls']:>9}  {row['tottime']:>9.4f}  "
+              f"{row['cumtime']:>9.4f}  {row['function']}  "
+              f"[{row['location']}]")
+
+    if args.json:
+        payload = {
+            "figure": args.figure,
+            "strategy": args.strategy,
+            "multiprogramming_level": args.mpl,
+            "cardinality": args.cardinality,
+            "num_sites": args.num_sites,
+            "measured_queries": args.measured,
+            "seed": args.seed,
+            "sort": args.sort,
+            "throughput": result.throughput,
+            "rows": rows,
+        }
+        if args.json == "-":
+            json.dump(payload, sys.stdout, indent=2)
+            sys.stdout.write("\n")
+        else:
+            with open(args.json, "w") as handle:
+                json.dump(payload, handle, indent=2)
+            print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

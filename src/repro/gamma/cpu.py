@@ -31,6 +31,10 @@ class Cpu:
     nodes, ``sched.cpu`` for the scheduler node).
     """
 
+    __slots__ = ("env", "params", "name", "obs_label", "_server",
+                 "monitor", "busy_seconds", "_instructions_per_second",
+                 "_request", "_release")
+
     def __init__(self, env: Environment, params: SimulationParameters,
                  name: str = "cpu", obs_label: str = "node.cpu"):
         self.env = env
@@ -40,6 +44,13 @@ class Cpu:
         self._server = PriorityResource(env, capacity=1)
         self.monitor = UtilizationMonitor.attach(self._server, name)
         self.busy_seconds = 0.0
+        # Hot-path caches: the instruction rate and the bound
+        # request/timeout callables, resolved once instead of per burst.
+        # Kept as the divisor (not its reciprocal) so the service time
+        # is bit-identical to params.instructions_to_seconds().
+        self._instructions_per_second = params.cpu_instructions_per_second
+        self._request = self._server.request
+        self._release = self._server.release
 
     def execute(self, instructions: float, priority: int = NORMAL_PRIORITY,
                 span=None):
@@ -49,23 +60,31 @@ class Cpu:
         :class:`repro.obs.spans.Span`) is given, the burst is recorded
         on its query's trace as a leaf with the wait/service split.
         """
-        if instructions < 0:
+        if instructions <= 0:
+            if instructions == 0:
+                return
             raise ValueError(f"negative instruction count {instructions}")
-        if instructions == 0:
-            return
-        service = self.params.instructions_to_seconds(instructions)
+        service = instructions / self._instructions_per_second
+        # Explicit release instead of the Request context manager: the
+        # __enter__/__exit__ pair costs two calls per burst, and nothing
+        # in the model interrupts a CPU burst, so the release is always
+        # reached.  The service delay is a bare-float sleep for the same
+        # reason: an uninterruptible delay needs no Timeout event.
         if span is None:
-            with self._server.request(priority=priority) as req:
-                yield req
-                yield self.env.timeout(service)
-                self.busy_seconds += service
-            return
-        queued_at = self.env.now
-        with self._server.request(priority=priority) as req:
+            req = self._request(priority)
             yield req
-            wait = self.env.now - queued_at
-            yield self.env.timeout(service)
+            yield service
             self.busy_seconds += service
+            self._release(req)
+            return
+        env = self.env
+        queued_at = env.now
+        req = self._request(priority)
+        yield req
+        wait = env.now - queued_at
+        yield service
+        self.busy_seconds += service
+        self._release(req)
         span.trace.resource(span, self.obs_label, wait, service)
 
     def execute_dma(self, instructions: float):

@@ -29,7 +29,7 @@ from typing import List, Optional
 
 from ..des import Environment, Event, TallyMonitor
 from ..obs.registry import NULL_REGISTRY
-from .cpu import Cpu
+from .cpu import Cpu, DMA_PRIORITY
 from .params import SimulationParameters
 
 __all__ = ["Disk", "DiskRequest"]
@@ -52,6 +52,12 @@ class DiskRequest:
 class Disk:
     """One disk drive with an elevator-scheduled request queue."""
 
+    __slots__ = ("env", "params", "cpu", "name", "obs_label", "_reads",
+                 "_writes", "_pages", "_wait_hist", "_rng", "_pending",
+                 "_arrival", "_current_cylinder", "_sweep_up",
+                 "busy_seconds", "wait_times", "requests_served",
+                 "_page_transfer_seconds", "_dma_service")
+
     def __init__(self, env: Environment, params: SimulationParameters,
                  cpu: Cpu, seed: int = 0, name: str = "disk",
                  registry=NULL_REGISTRY, metric_prefix: str = "disk"):
@@ -72,6 +78,12 @@ class Disk:
         self.busy_seconds = 0.0
         self.wait_times = TallyMonitor(f"{name}.wait")
         self.requests_served = 0
+        # Per-page constants, resolved once instead of per service.  The
+        # DMA burst length uses the same division cpu.execute() performs
+        # so the service time is bit-identical.
+        self._page_transfer_seconds = params.page_transfer_seconds()
+        self._dma_service = (params.dma_instructions_per_page
+                             / params.cpu_instructions_per_second)
         env.process(self._serve_loop())
 
     # -- public API ------------------------------------------------------
@@ -154,17 +166,29 @@ class Disk:
                            + self.params.seek_seconds(distance)
                            + self._rng.uniform(
                                0.0, self.params.disk_max_latency_seconds))
-            yield self.env.timeout(positioning)
+            yield positioning
             self.busy_seconds += positioning
         self._current_cylinder = request.cylinder
 
-        transfer = self.params.page_transfer_seconds()
+        transfer = self._page_transfer_seconds
+        dma_service = self._dma_service
+        cpu = self.cpu
+        cpu_request = cpu._request
+        cpu_release = cpu._release
         for _ in range(request.num_pages):
-            yield self.env.timeout(transfer)
+            yield transfer
             self.busy_seconds += transfer
             # FIFO buffer full: interrupt the CPU for the DMA transfer.
-            yield from self.cpu.execute_dma(
-                self.params.dma_instructions_per_page)
+            # cpu.execute() written out inline -- a generator per page
+            # (and its resume hops) in the hottest loop of the model;
+            # nothing in the model interrupts a DMA burst, so the
+            # explicit release is always reached and the delays are
+            # bare-float sleeps.
+            req = cpu_request(DMA_PRIORITY)
+            yield req
+            yield dma_service
+            cpu.busy_seconds += dma_service
+            cpu_release(req)
 
         # Streaming advances the arm across cylinders.
         span = request.num_pages // self.params.disk_geometry.pages_per_cylinder

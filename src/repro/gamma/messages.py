@@ -23,7 +23,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SelectRequest:
     """Scheduler -> operator site: start a selection on the local fragment.
 
@@ -47,7 +47,7 @@ class SelectRequest:
     position: float = 0.5
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProbeRequest:
     """Scheduler -> auxiliary-index site (BERD step 1)."""
 
@@ -60,7 +60,7 @@ class ProbeRequest:
     position: float = 0.5
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProbeReply:
     """Auxiliary-index site -> scheduler: homes of qualifying tuples."""
 
@@ -68,7 +68,7 @@ class ProbeReply:
     site: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InsertRequest:
     """Scheduler -> home site: add one tuple to the local fragment.
 
@@ -83,7 +83,7 @@ class InsertRequest:
     position: float = 0.5
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AuxInsertRequest:
     """Scheduler -> auxiliary site: record a new tuple's secondary value.
 
@@ -98,7 +98,7 @@ class AuxInsertRequest:
     position: float = 0.5
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ResultPacket:
     """Operator site -> scheduler: up to 36 result tuples."""
 
@@ -107,7 +107,7 @@ class ResultPacket:
     num_tuples: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OperatorDone:
     """Operator site -> scheduler: selection finished at this site."""
 

@@ -31,7 +31,7 @@ from .params import SimulationParameters
 __all__ = ["Network", "NetworkEndpoint"]
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkEndpoint:
     """One node's attachment: its CPU, NIC and incoming mailbox."""
 
@@ -46,6 +46,11 @@ class NetworkEndpoint:
 class Network:
     """Fully connected interconnect between endpoints."""
 
+    __slots__ = ("env", "params", "_endpoints", "messages_sent",
+                 "bytes_sent", "_msg_counter", "_byte_counter",
+                 "_latency_seconds", "_bandwidth", "_handling_service",
+                 "invariants")
+
     def __init__(self, env: Environment, params: SimulationParameters,
                  registry=NULL_REGISTRY, invariants=None):
         self.env = env
@@ -53,8 +58,23 @@ class Network:
         self._endpoints: Dict[int, NetworkEndpoint] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
-        self._msg_counter = registry.counter("net.messages")
-        self._byte_counter = registry.counter("net.bytes")
+        # With the null registry the counters are None and skipped
+        # entirely: two no-op method calls per message are measurable
+        # at figure scale.
+        if registry is NULL_REGISTRY:
+            self._msg_counter = self._byte_counter = None
+        else:
+            self._msg_counter = registry.counter("net.messages")
+            self._byte_counter = registry.counter("net.bytes")
+        # Per-message constants, computed once: both params methods cost
+        # a call chain per message otherwise, and the divisor form keeps
+        # occupancy bit-identical to network_occupancy_seconds().
+        self._latency_seconds = params.network_latency_seconds()
+        self._bandwidth = params.network_bandwidth_bytes_per_second()
+        # Handling burst, precomputed with the same division
+        # cpu.execute() performs so the service time is bit-identical.
+        self._handling_service = (params.message_handling_instructions
+                                  / params.cpu_instructions_per_second)
         # Optional conservation observer (repro.validation): counts every
         # send and completed delivery so lost messages are detectable.
         self.invariants = invariants
@@ -82,17 +102,6 @@ class Network:
         """Fire-and-forget: spawn the delivery process for one message."""
         self.env.process(self.deliver(src, dst, num_bytes, message))
 
-    def _occupy_nic(self, endpoint: NetworkEndpoint, occupancy: float,
-                    span):
-        """Process generator: hold one NIC, booking wait/occupancy on *span*."""
-        queued_at = self.env.now
-        with endpoint.nic.request() as req:
-            yield req
-            wait = self.env.now - queued_at
-            yield self.env.timeout(occupancy)
-        if span is not None:
-            span.trace.resource(span, endpoint.obs_label, wait, occupancy)
-
     def deliver_external(self, src: int, num_bytes: int, span=None):
         """Process generator: ship a message out of the simulated machine.
 
@@ -104,45 +113,104 @@ class Network:
         sender = self.endpoint(src)
         self.messages_sent += 1
         self.bytes_sent += num_bytes
-        self._msg_counter.inc()
-        self._byte_counter.inc(num_bytes)
+        if self._msg_counter is not None:
+            self._msg_counter.inc()
+            self._byte_counter.inc(num_bytes)
         if self.invariants is not None:
             # The external host is outside the machine: the message is
             # considered delivered the moment it leaves (no receiver to
             # lose it).
             self.invariants.on_message_sent(src, -1)
             self.invariants.on_message_delivered(-1)
+        env = self.env
         yield from sender.cpu.execute(
             self.params.message_handling_instructions, span=span)
-        yield from self._occupy_nic(
-            sender, self.params.network_occupancy_seconds(num_bytes), span)
-        yield self.env.timeout(self.params.network_latency_seconds())
+        occupancy = num_bytes / self._bandwidth
+        queued_at = env.now
+        nic = sender.nic
+        req = nic.request()
+        yield req
+        wait = env.now - queued_at
+        yield occupancy
+        nic.release(req)
+        if span is not None:
+            span.trace.resource(span, sender.obs_label, wait, occupancy)
+        yield self._latency_seconds
 
     def deliver(self, src: int, dst: int, num_bytes: int, message: Any,
                 span=None):
-        """Process generator: full delivery path of one message."""
-        sender = self.endpoint(src)
-        receiver = self.endpoint(dst)
+        """Process generator: full delivery path of one message.
+
+        The two NIC holds and, for untraced messages, the CPU handling
+        bursts are written out inline rather than delegated to helper
+        generators: message delivery is the single hottest compound
+        operation in the model, and every ``yield from`` level is
+        traversed again on each of the delivery's event resumes.
+        """
+        endpoints = self._endpoints
+        sender = endpoints[src]
+        receiver = endpoints[dst]
         self.messages_sent += 1
         self.bytes_sent += num_bytes
-        self._msg_counter.inc()
-        self._byte_counter.inc(num_bytes)
-        if self.invariants is not None:
-            self.invariants.on_message_sent(src, dst)
+        counter = self._msg_counter
+        if counter is not None:
+            counter.inc()
+            self._byte_counter.inc(num_bytes)
+        invariants = self.invariants
+        if invariants is not None:
+            invariants.on_message_sent(src, dst)
 
-        handling = self.params.message_handling_instructions
-        yield from sender.cpu.execute(handling, span=span)
+        env = self.env
+        if span is None:
+            # cpu.execute() written out inline, release called directly
+            # (nothing in the model interrupts a delivery, so the
+            # explicit release is always reached); the delays are
+            # bare-float sleeps for the same reason.
+            cpu = sender.cpu
+            req = cpu._request(1)  # NORMAL_PRIORITY
+            yield req
+            yield self._handling_service
+            cpu.busy_seconds += self._handling_service
+            cpu._release(req)
+        else:
+            yield from sender.cpu.execute(
+                self.params.message_handling_instructions, span=span)
 
         if src != dst:
-            occupancy = self.params.network_occupancy_seconds(num_bytes)
-            yield from self._occupy_nic(sender, occupancy, span)
+            occupancy = num_bytes / self._bandwidth
+            nic = sender.nic
+            queued_at = env.now
+            req = nic.request()
+            yield req
+            wait = env.now - queued_at
+            yield occupancy
+            nic.release(req)
+            if span is not None:
+                span.trace.resource(span, sender.obs_label, wait, occupancy)
             # Fixed protocol latency: a pure delay, no resource held.
-            yield self.env.timeout(self.params.network_latency_seconds())
-            yield from self._occupy_nic(receiver, occupancy, span)
-            yield from receiver.cpu.execute(handling, span=span)
+            yield self._latency_seconds
+            nic = receiver.nic
+            queued_at = env.now
+            req = nic.request()
+            yield req
+            wait = env.now - queued_at
+            yield occupancy
+            nic.release(req)
+            if span is None:
+                cpu = receiver.cpu
+                req = cpu._request(1)  # NORMAL_PRIORITY
+                yield req
+                yield self._handling_service
+                cpu.busy_seconds += self._handling_service
+                cpu._release(req)
+            else:
+                span.trace.resource(span, receiver.obs_label, wait,
+                                    occupancy)
+                yield from receiver.cpu.execute(
+                    self.params.message_handling_instructions, span=span)
 
-        if self.invariants is not None:
-            self.invariants.on_message_delivered(dst)
+        if invariants is not None:
+            invariants.on_message_delivered(dst)
         receiver.mailbox.put(message)
 
     def reset_stats(self) -> None:

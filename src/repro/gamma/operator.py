@@ -77,6 +77,14 @@ class OperatorManager:
             f"node.{node_id}.ops.selects")
         self._probes_counter = telemetry.registry.counter(
             f"node.{node_id}.ops.probes")
+        # Per-page CPU burst lengths, precomputed with the same division
+        # cpu.execute() performs so the service times are bit-identical.
+        self._hit_service = (params.buffer_hit_instructions
+                             / params.cpu_instructions_per_second)
+        self._read_service = (params.read_page_instructions
+                              / params.cpu_instructions_per_second)
+        self._startup_service = (params.operator_startup_instructions
+                                 / params.cpu_instructions_per_second)
         env.process(self._dispatch_loop())
 
     def _dispatch_loop(self):
@@ -103,8 +111,14 @@ class OperatorManager:
     def _perform_reads(self, relation: str, plan: IndexAccessPlan,
                        sequential_source: str = "base",
                        attribute: str = "", span=None):
-        """Issue the plan's disk reads and buffer-manager CPU."""
+        """Issue the plan's disk reads and buffer-manager CPU.
+
+        The untraced per-page CPU burst is cpu.execute() written out
+        inline (see :meth:`_buffered_page`): one generator and its
+        per-resume hops per random read otherwise.
+        """
         aux = sequential_source == "aux"
+        cpu = self.cpu
         for _ in range(plan.random_reads):
             if aux:
                 cylinder = self.catalog.aux_read_cylinder(
@@ -112,10 +126,17 @@ class OperatorManager:
             else:
                 cylinder = self.catalog.random_read_cylinder(
                     relation, self.node_id, self._rng)
-            yield from self.disk.read(cylinder, 1, sequential=False,
-                                      span=span)
-            yield from self.cpu.execute(self.params.read_page_instructions,
-                                        span=span)
+            yield self.disk.submit(cylinder, 1, sequential=False, span=span)
+            if span is None:
+                service = self._read_service
+                req = cpu._request(1)  # NORMAL_PRIORITY
+                yield req
+                yield service
+                cpu.busy_seconds += service
+                cpu._release(req)
+            else:
+                yield from cpu.execute(self.params.read_page_instructions,
+                                       span=span)
         if plan.sequential_reads:
             if aux:
                 cylinder = self.catalog.aux_sequential_run_cylinder(
@@ -124,22 +145,44 @@ class OperatorManager:
             else:
                 cylinder = self.catalog.sequential_run_cylinder(
                     relation, self.node_id, plan.sequential_reads, self._rng)
-            yield from self.disk.read(cylinder, plan.sequential_reads,
-                                      sequential=True, span=span)
+            yield self.disk.submit(cylinder, plan.sequential_reads,
+                                   sequential=True, span=span)
             yield from self.cpu.execute(
                 plan.sequential_reads * self.params.read_page_instructions,
                 span=span)
 
     def _buffered_page(self, key: str, cylinder: int, span=None):
-        """Access one page through the buffer pool (hit: CPU only)."""
+        """Access one page through the buffer pool (hit: CPU only).
+
+        The untraced CPU bursts are cpu.execute() written out inline
+        (one generator and its per-resume hops per page otherwise);
+        nothing in the model interrupts a burst, so the explicit
+        release is always reached.
+        """
+        cpu = self.cpu
         if self.buffer_pool.access(key):
-            yield from self.cpu.execute(self.params.buffer_hit_instructions,
-                                        span=span)
+            if span is None:
+                service = self._hit_service
+                req = cpu._request(1)  # NORMAL_PRIORITY
+                yield req
+                yield service
+                cpu.busy_seconds += service
+                cpu._release(req)
+            else:
+                yield from cpu.execute(self.params.buffer_hit_instructions,
+                                       span=span)
         else:
-            yield from self.disk.read(cylinder, 1, sequential=False,
-                                      span=span)
-            yield from self.cpu.execute(self.params.read_page_instructions,
-                                        span=span)
+            yield self.disk.submit(cylinder, 1, sequential=False, span=span)
+            if span is None:
+                service = self._read_service
+                req = cpu._request(1)  # NORMAL_PRIORITY
+                yield req
+                yield service
+                cpu.busy_seconds += service
+                cpu._release(req)
+            else:
+                yield from cpu.execute(self.params.read_page_instructions,
+                                       span=span)
 
     def _perform_reads_buffered(self, relation: str, attribute: str,
                                 plan: IndexAccessPlan, index,
@@ -185,8 +228,8 @@ class OperatorManager:
                 yield from self.cpu.execute(
                     hits * self.params.buffer_hit_instructions, span=span)
             if misses:
-                yield from self.disk.read(cylinder, len(misses),
-                                          sequential=True, span=span)
+                yield self.disk.submit(cylinder, len(misses),
+                                       sequential=True, span=span)
                 yield from self.cpu.execute(
                     len(misses) * self.params.read_page_instructions,
                     span=span)
@@ -196,8 +239,18 @@ class OperatorManager:
                  if self.telemetry.enabled else None)
         span = trace.start("select.site",
                            node=self.node_id) if trace else None
-        yield from self.cpu.execute(self.params.operator_startup_instructions,
-                                    span=span)
+        if span is None:
+            # Constant-length start-up burst, cpu.execute() inline.
+            cpu = self.cpu
+            service = self._startup_service
+            req = cpu._request(1)  # NORMAL_PRIORITY
+            yield req
+            yield service
+            cpu.busy_seconds += service
+            cpu._release(req)
+        else:
+            yield from self.cpu.execute(
+                self.params.operator_startup_instructions, span=span)
 
         plan, index = self.catalog.select_plan(
             request.relation, self.node_id, request.attribute,
@@ -292,8 +345,18 @@ class OperatorManager:
                  if self.telemetry.enabled else None)
         span = trace.start("probe.site",
                            node=self.node_id) if trace else None
-        yield from self.cpu.execute(self.params.operator_startup_instructions,
-                                    span=span)
+        if span is None:
+            # Constant-length start-up burst, cpu.execute() inline.
+            cpu = self.cpu
+            service = self._startup_service
+            req = cpu._request(1)  # NORMAL_PRIORITY
+            yield req
+            yield service
+            cpu.busy_seconds += service
+            cpu._release(req)
+        else:
+            yield from self.cpu.execute(
+                self.params.operator_startup_instructions, span=span)
 
         aux = self.catalog.aux_btree(request.relation, self.node_id,
                                      request.attribute)

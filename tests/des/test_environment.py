@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.des import Environment
+from repro.des import AgendaEmptyError, Environment, SimulationError
 
 
 @pytest.fixture
@@ -55,8 +55,14 @@ class TestRunLoops:
 
     def test_run_until_unreachable_event_raises(self, env):
         never = env.event()
-        with pytest.raises(RuntimeError, match="ran dry"):
+        with pytest.raises(AgendaEmptyError, match="ran dry"):
             env.run(until=never)
+
+    def test_agenda_dry_error_is_simulation_error(self, env):
+        # Kernel errors share one hierarchy: callers can catch
+        # SimulationError for any kernel-originated failure.
+        with pytest.raises(SimulationError):
+            env.run(until=env.event())
 
     def test_run_until_time_leaves_future_events(self, env):
         fired = []
@@ -106,6 +112,19 @@ class TestDeterminism:
             return trace
 
         assert run_once() == run_once()
+
+    def test_schedule_urgent_twice_raises_simulation_error(self, env):
+        # Aligned with Event.succeed: re-triggering is a SimulationError,
+        # not a bare RuntimeError.
+        ev = env.event()
+        env.schedule_urgent(ev)
+        with pytest.raises(SimulationError, match="already been triggered"):
+            env.schedule_urgent(ev)
+
+    def test_schedule_urgent_of_succeeded_event_raises(self, env):
+        ev = env.event().succeed(1)
+        with pytest.raises(SimulationError):
+            env.schedule_urgent(ev)
 
     def test_urgent_beats_normal_at_same_time(self, env):
         order = []

@@ -147,10 +147,69 @@ class TestProcess:
 
     def test_yield_non_event_raises(self, env):
         def proc(env):
-            yield 42
+            yield "not an event"
 
         env.process(proc(env))
         with pytest.raises(SimulationError, match="not an Event"):
+            env.run()
+
+    def test_yield_bare_float_sleeps(self, env):
+        # Plain numbers are delays: equivalent to yielding
+        # env.timeout(delay), minus the Timeout object.
+        log = []
+
+        def proc(env):
+            got = yield 1.5
+            log.append((env.now, got))
+            got = yield 2  # integers take the slow lane, same semantics
+            log.append((env.now, got))
+
+        env.process(proc(env))
+        env.run()
+        assert log == [(1.5, None), (3.5, None)]
+
+    def test_yield_bare_sleep_orders_like_timeout(self, env):
+        # A bare sleep consumes one sequence number exactly as a
+        # timeout would, so FIFO tie-breaking between the two styles
+        # follows creation order.
+        log = []
+
+        def sleeper(env, tag):
+            yield 1.0
+            log.append(tag)
+
+        def timeouter(env, tag):
+            yield env.timeout(1.0)
+            log.append(tag)
+
+        env.process(sleeper(env, "a"))
+        env.process(timeouter(env, "b"))
+        env.process(sleeper(env, "c"))
+        env.run()
+        assert log == ["a", "b", "c"]
+
+    def test_yield_negative_sleep_raises(self, env):
+        def proc(env):
+            yield -0.5
+
+        env.process(proc(env))
+        with pytest.raises(SimulationError, match="negative sleep"):
+            env.run()
+
+    def test_interrupt_during_bare_sleep_rejected(self, env):
+        # There is no event to detach the waker from, so a sleeping
+        # process cannot be interrupted; the error says to use
+        # env.timeout() instead.
+        def sleeper(env):
+            yield 10.0
+
+        def interrupter(env, victim):
+            yield env.timeout(1.0)
+            victim.interrupt("wake up")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        with pytest.raises(SimulationError, match="bare delay"):
             env.run()
 
     def test_exception_in_process_propagates(self, env):
