@@ -32,6 +32,7 @@ import sys
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from des_workload import run_compare  # noqa: E402
+from ledger import record as ledger_record  # noqa: E402
 
 CARDINALITY = 100_000
 PROCESSORS = 32
@@ -77,6 +78,10 @@ def test_des_throughput():
     report = measure()
     with open(OUTPUT, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
+    ledger_record({
+        "des_kernel_speedup": report["speedup"],
+        "des_events_per_second": report["events_per_second"]["current"],
+    }, benchmark="des_throughput")
     print()
     print(json.dumps(report, indent=2, sort_keys=True))
     # run_compare already raised if any strategy's results diverged

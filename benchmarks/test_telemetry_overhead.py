@@ -13,14 +13,21 @@ pytest (``pytest benchmarks/test_telemetry_overhead.py``).
 
 import json
 import os
+import sys
 import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from ledger import record as ledger_record  # noqa: E402
 
 from repro.experiments import FIGURES, run_experiment
 from repro.obs import Telemetry
 
 MPLS = (1, 16, 64)
-MEASURED = 250
-CARDINALITY = 100_000
+# Overridable so the CI smoke jobs can seed the perf ledger from a tiny
+# configuration (the 3.0x overhead ceiling still holds at any size).
+MEASURED = int(os.environ.get("TELEMETRY_BENCH_MEASURED", "250"))
+CARDINALITY = int(os.environ.get("TELEMETRY_BENCH_CARDINALITY", "100000"))
 PROCESSORS = 32
 OUTPUT = os.path.join(os.path.dirname(__file__), os.pardir,
                       "BENCH_telemetry_overhead.json")
@@ -69,6 +76,9 @@ def test_telemetry_overhead_and_artifact():
     with open(OUTPUT, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    ledger_record({
+        "telemetry_overhead_ratio": payload["overhead_ratio"],
+    }, benchmark="telemetry_overhead")
     # Tracing must not change the simulation itself: identical seeds
     # produce identical throughput series with telemetry off and on.
     for flags in payload["throughput_unchanged"].values():

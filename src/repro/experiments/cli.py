@@ -115,6 +115,18 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="sampled predicates per query type in the "
                              "audit (default: 400)")
+    parser.add_argument("--progress", choices=("line", "jsonl"),
+                        help="live run progress on stderr: 'line' keeps "
+                             "one status line (done/total, events/sec, "
+                             "cache-aware ETA, worker heartbeats); "
+                             "'jsonl' streams one JSON event per line "
+                             "for machines")
+    parser.add_argument("--no-phases", action="store_true",
+                        help="skip wall-clock phase attribution "
+                             "(plan-compile / relation-build / "
+                             "placement-build / simulate / cache I/O "
+                             "seconds recorded into saved results; "
+                             "results are bit-identical either way)")
     parser.add_argument("--check-invariants", action="store_true",
                         help="run every simulated point under the "
                              "conservation-law invariant checker (first "
@@ -153,6 +165,14 @@ def _cache_from_args(args) -> Optional[ResultCache]:
     if args.no_cache or not args.cache:
         return None
     return ResultCache(args.cache)
+
+
+def _progress_from_args(args):
+    """A ProgressTracker on stderr when --progress was requested."""
+    if not args.progress:
+        return None
+    from ..obs.progress import ProgressTracker
+    return ProgressTracker(stream=sys.stderr, mode=args.progress)
 
 
 def _telemetry_spec(args):
@@ -202,13 +222,26 @@ def _run_figures(names: List[str], args) -> List[str]:
     measured = QUICK_MEASURED if args.quick else args.measured
     cache = _cache_from_args(args)
     telemetry_spec = _telemetry_spec(args)
+    progress = _progress_from_args(args)
+    try:
+        return _run_figures_inner(names, args, blocks, mpls, measured,
+                                  cache, telemetry_spec, progress)
+    finally:
+        if progress is not None:
+            progress.close()
+
+
+def _run_figures_inner(names, args, blocks, mpls, measured, cache,
+                       telemetry_spec, progress) -> List[str]:
     for name in names:
         config = FIGURES[name]
         result = run_experiment(
-            config, cardinality=args.cardinality, num_sites=args.num_sites,
+            config, cardinality=args.cardinality,
+            num_sites=args.num_sites,
             measured_queries=measured, mpls=mpls, seed=args.seed,
             jobs=args.jobs, cache=cache, telemetry_spec=telemetry_spec,
-            check_invariants=args.check_invariants)
+            check_invariants=args.check_invariants,
+            progress=progress, collect_phases=not args.no_phases)
         if args.audit or args.audit_out:
             # Post-processing only: the audit reads the finished result
             # (and the plan layer's memoized placements), so the series

@@ -22,25 +22,51 @@ constructs the live object locally) and a detached, environment-free
 telemetry snapshot *back*.  Cache lookups are skipped whenever
 telemetry is requested -- a cached result has no spans to return -- but
 freshly traced results are still written through to the cache.
+
+Both backends also feed the wall-clock observability layer, strictly
+observationally (results are bit-identical with it on or off):
+
+* ``collect_phases`` records relation-build / placement-build /
+  simulate / cache-read / cache-write / telemetry-detach wall seconds
+  into the installed :mod:`~repro.obs.phases` accumulator (workers
+  collect locally and ship a snapshot back on each outcome);
+* ``progress`` receives plan lifecycle events
+  (:mod:`~repro.obs.progress`); parallel workers additionally push
+  phase-boundary heartbeats over a multiprocessing queue.
 """
 
 from __future__ import annotations
 
+import os
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..gamma import RunResult, SimulationParameters
-from ..obs import Telemetry, TelemetrySpec
+from ..obs import Telemetry, TelemetrySpec, phases
+from ..obs.progress import NULL_PROGRESS
 from .cache import ResultCache
 from .plan import PlannedRun, RunPlan, RunSpec, execute_run
 
 __all__ = ["ExecutionOutcome", "SerialExecutor", "ParallelExecutor",
-           "make_executor", "TelemetryProvider"]
+           "make_executor", "TelemetryProvider", "WorkerCrash"]
 
 #: Serial-only hook: builds (or declines to build) telemetry for one spec.
 TelemetryProvider = Callable[[RunSpec], Optional[Telemetry]]
+
+
+class WorkerCrash(RuntimeError):
+    """A parallel worker died; carries the worker traceback and spec.
+
+    A bare exception re-raised from a pickled future says nothing about
+    *which* of a 63-point grid crashed or where in the worker it
+    happened.  The worker wraps any failure in this type with the
+    offending :class:`RunSpec` digest, the (strategy, MPL) coordinates,
+    its pid, and the full formatted traceback, all embedded in the
+    message so the object pickles losslessly back to the parent.
+    """
 
 
 @dataclass
@@ -55,6 +81,10 @@ class ExecutionOutcome:
     cached: bool = False
     #: Detached telemetry snapshot, when tracing was requested.
     telemetry: Optional[Telemetry] = None
+    #: Wall-clock phase snapshot from the process that ran this spec
+    #: (parallel workers only; serial runs record into the installed
+    #: figure-level accumulator directly).
+    phases: Optional[Dict] = None
 
 
 def _run_one(planned: PlannedRun, telemetry: Optional[Telemetry],
@@ -67,14 +97,70 @@ def _run_one(planned: PlannedRun, telemetry: Optional[Telemetry],
 
 def _worker_execute(planned: PlannedRun,
                     telemetry_spec: Optional[TelemetrySpec],
-                    check_invariants: bool = False):
+                    check_invariants: bool = False,
+                    collect_phases: bool = False,
+                    progress_queue=None):
     """Top-level worker entry point (must be picklable by name)."""
-    telemetry = telemetry_spec.build() if telemetry_spec is not None else None
-    result, wall = _run_one(planned, telemetry,
-                            check_invariants=check_invariants)
-    if telemetry is not None:
-        telemetry.detach()
-    return result, wall, telemetry
+    spec = planned.spec
+    try:
+        # Fork-start workers inherit the parent's installed accumulator
+        # stack as junk state; drop it before collecting anything.
+        phases.reset()
+        listener = None
+        if progress_queue is not None:
+            digest = spec.digest()[:12]
+            pid = os.getpid()
+
+            def listener(name: str, action: str, elapsed: float) -> None:
+                if action != "start":
+                    return
+                try:
+                    progress_queue.put({
+                        "spec": digest, "strategy": spec.strategy,
+                        "mpl": spec.multiprogramming_level, "phase": name,
+                        "pid": pid, "wall_seconds": round(elapsed, 6)})
+                except Exception:
+                    pass  # progress must never kill a simulation
+
+        acc = None
+        if collect_phases or progress_queue is not None:
+            acc = phases.push(phases.PhaseAccumulator(listener=listener))
+        try:
+            telemetry = (telemetry_spec.build()
+                         if telemetry_spec is not None else None)
+            result, wall = _run_one(planned, telemetry,
+                                    check_invariants=check_invariants)
+            if telemetry is not None:
+                with phases.phase("telemetry-detach"):
+                    telemetry.detach()
+        finally:
+            if acc is not None:
+                phases.pop(merge_into_parent=False)
+        snapshot = acc.snapshot() if acc is not None else None
+        if progress_queue is not None:
+            counters = snapshot["counters"] if snapshot else {}
+            try:
+                progress_queue.put({
+                    "spec": spec.digest()[:12], "strategy": spec.strategy,
+                    "mpl": spec.multiprogramming_level, "phase": "worker-done",
+                    "pid": os.getpid(), "wall_seconds": round(wall, 6),
+                    "events": int(counters.get("events", 0)),
+                    "sim_clock": round(counters.get("sim_seconds", 0.0), 6)})
+            except Exception:
+                pass
+        return result, wall, telemetry, snapshot
+    except WorkerCrash:
+        raise
+    except BaseException as exc:
+        # Chained causes may not pickle (arbitrary third-party
+        # exceptions); embed everything as text instead.
+        raise WorkerCrash(
+            f"worker pid {os.getpid()} failed on run spec "
+            f"{spec.digest()} (figure {spec.figure}, strategy "
+            f"{spec.strategy!r}, mpl {spec.multiprogramming_level}): "
+            f"{type(exc).__name__}: {exc}\n"
+            f"--- worker traceback ---\n{traceback.format_exc()}"
+        ) from None
 
 
 class SerialExecutor:
@@ -88,9 +174,15 @@ class SerialExecutor:
                 telemetry_spec: Optional[TelemetrySpec] = None,
                 telemetry_provider: Optional[TelemetryProvider] = None,
                 check_invariants: bool = False,
+                progress=None,
                 ) -> List[ExecutionOutcome]:
+        progress = progress if progress is not None else NULL_PROGRESS
+        acc = phases.current()
+        progress.plan_started(len(plan), executor=self.name, jobs=self.jobs,
+                              figure=_plan_figure(plan))
         outcomes: List[ExecutionOutcome] = []
-        for planned in plan:
+        for index, planned in enumerate(plan):
+            progress.spec_started(planned.spec, index)
             telemetry = None
             if telemetry_provider is not None:
                 telemetry = telemetry_provider(planned.spec)
@@ -101,19 +193,31 @@ class SerialExecutor:
             # simulates; fresh results still write through below.
             tracing = telemetry is not None or check_invariants
             if cache is not None and not tracing:
-                hit = cache.get(planned.spec)
+                with phases.phase("cache-read"):
+                    hit = cache.get(planned.spec)
                 if hit is not None:
                     outcomes.append(ExecutionOutcome(
                         spec=planned.spec, result=hit, cached=True))
+                    progress.spec_finished(planned.spec, index, cached=True)
                     continue
+            events_before = acc.counters.get("events", 0.0) if acc else 0.0
+            sim_before = acc.counters.get("sim_seconds", 0.0) if acc else 0.0
             result, wall = _run_one(planned, telemetry,
                                     check_invariants=check_invariants)
             if cache is not None:
-                cache.put(planned.spec, result, executor=self.name,
-                          jobs=self.jobs)
+                with phases.phase("cache-write"):
+                    cache.put(planned.spec, result, executor=self.name,
+                              jobs=self.jobs)
             outcomes.append(ExecutionOutcome(
                 spec=planned.spec, result=result, wall_seconds=wall,
                 telemetry=telemetry))
+            progress.spec_finished(
+                planned.spec, index, cached=False, wall_seconds=wall,
+                events=(acc.counters.get("events", 0.0) - events_before
+                        if acc else None),
+                sim_seconds=(acc.counters.get("sim_seconds", 0.0) - sim_before
+                             if acc else None))
+        progress.plan_finished()
         return outcomes
 
 
@@ -132,40 +236,66 @@ class ParallelExecutor:
                 telemetry_spec: Optional[TelemetrySpec] = None,
                 telemetry_provider: Optional[TelemetryProvider] = None,
                 check_invariants: bool = False,
+                progress=None,
                 ) -> List[ExecutionOutcome]:
         if telemetry_provider is not None:
             raise ValueError(
                 "telemetry providers hold live objects and cannot cross "
                 "process boundaries; pass a TelemetrySpec instead")
+        progress = progress if progress is not None else NULL_PROGRESS
+        acc = phases.current()
+        collect_phases = acc is not None
+        progress.plan_started(len(plan), executor=self.name, jobs=self.jobs,
+                              figure=_plan_figure(plan))
         outcomes: List[Optional[ExecutionOutcome]] = [None] * len(plan)
         pending: List[Tuple[int, PlannedRun]] = []
         tracing = telemetry_spec is not None or check_invariants
         for index, planned in enumerate(plan):
-            hit = (cache.get(planned.spec)
-                   if cache is not None and not tracing else None)
+            progress.spec_started(planned.spec, index)
+            hit = None
+            if cache is not None and not tracing:
+                with phases.phase("cache-read"):
+                    hit = cache.get(planned.spec)
             if hit is not None:
                 outcomes[index] = ExecutionOutcome(
                     spec=planned.spec, result=hit, cached=True)
+                progress.spec_finished(planned.spec, index, cached=True)
             else:
                 pending.append((index, planned))
 
         if pending:
+            heartbeat_queue = progress.worker_queue()
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
                 futures = [
                     (index, planned,
                      pool.submit(_worker_execute, planned, telemetry_spec,
-                                 check_invariants))
+                                 check_invariants, collect_phases,
+                                 heartbeat_queue))
                     for index, planned in pending
                 ]
                 for index, planned, future in futures:
-                    result, wall, telemetry = future.result()
+                    result, wall, telemetry, snapshot = future.result()
                     if cache is not None:
-                        cache.put(planned.spec, result, executor=self.name,
-                                  jobs=self.jobs)
+                        with phases.phase("cache-write"):
+                            cache.put(planned.spec, result,
+                                      executor=self.name, jobs=self.jobs)
+                    if snapshot is not None and acc is not None:
+                        acc.merge(snapshot)
+                    counters = (snapshot or {}).get("counters", {})
                     outcomes[index] = ExecutionOutcome(
                         spec=planned.spec, result=result, wall_seconds=wall,
-                        telemetry=telemetry)
+                        telemetry=telemetry, phases=snapshot)
+                    progress.spec_finished(
+                        planned.spec, index, cached=False, wall_seconds=wall,
+                        events=counters.get("events"),
+                        sim_seconds=counters.get("sim_seconds"))
+        progress.plan_finished()
         return [outcome for outcome in outcomes if outcome is not None]
+
+
+def _plan_figure(plan: RunPlan) -> Optional[str]:
+    """The figure name a plan regenerates (None for an empty plan)."""
+    return plan.runs[0].spec.figure if len(plan) else None
 
 
 def make_executor(jobs: int = 1):

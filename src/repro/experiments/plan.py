@@ -41,7 +41,7 @@ from ..core import (
     RangeStrategy,
 )
 from ..gamma import GAMMA_PARAMETERS, GammaMachine, RunResult, SimulationParameters
-from ..obs import Telemetry
+from ..obs import Telemetry, phases
 from ..storage import make_wisconsin
 from ..workload import cost_model_for_mix, make_mix
 from .config import ATTR_A, ATTR_B, ExperimentConfig, FIGURES
@@ -262,9 +262,12 @@ def _relation_for(spec: RunSpec):
     if relation is None:
         if len(_relation_memo) >= _MAX_RELATIONS:
             _relation_memo.clear()
-        relation = make_wisconsin(spec.cardinality,
-                                  correlation=spec.correlation,
-                                  seed=spec.seed)
+        # Memo hits deliberately record no phase: a 0-cost lookup would
+        # only pad the relation-build entry count with noise.
+        with phases.phase("relation-build"):
+            relation = make_wisconsin(spec.cardinality,
+                                      correlation=spec.correlation,
+                                      seed=spec.seed)
         _relation_memo[key] = relation
     return relation
 
@@ -278,9 +281,11 @@ def _placement_for(spec: RunSpec, params: SimulationParameters,
             _placement_memo.clear()
         if config is None:
             config = FIGURES[spec.figure]
-        strategy = build_strategy(spec.strategy, config, spec.cardinality,
-                                  params)
-        placement = strategy.partition(_relation_for(spec), spec.num_sites)
+        relation = _relation_for(spec)
+        with phases.phase("placement-build"):
+            strategy = build_strategy(spec.strategy, config,
+                                      spec.cardinality, params)
+            placement = strategy.partition(relation, spec.num_sites)
         _placement_memo[key] = placement
     return placement
 
@@ -330,5 +335,12 @@ def execute_run(spec: RunSpec,
     machine = GammaMachine(placement, indexes=PAPER_INDEXES, params=params,
                            seed=spec.machine_seed, telemetry=telemetry,
                            invariants=invariants)
-    return machine.run(mix, multiprogramming_level=spec.multiprogramming_level,
-                       measured_queries=spec.measured_queries)
+    with phases.phase("simulate"):
+        result = machine.run(
+            mix, multiprogramming_level=spec.multiprogramming_level,
+            measured_queries=spec.measured_queries)
+        # Wall-clock attribution reads the machine, never steers it:
+        # these counters feed the progress line's events/sec figure.
+        phases.annotate(events=machine.env.events_scheduled,
+                        sim_seconds=machine.env.now)
+    return result

@@ -21,6 +21,7 @@ import cProfile
 import json
 import pstats
 import sys
+import time
 from typing import List, Optional
 
 from .config import FIGURES
@@ -70,7 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def profile_point(figure: str, strategy: str, mpl: int, cardinality: int,
                   num_sites: int, measured: int, seed: int):
-    """Run one point under cProfile; returns ``(stats, result)``."""
+    """Run one point under cProfile; returns ``(stats, result, wall)``.
+
+    ``wall`` is the profiled run's total wall-clock seconds -- the
+    denominator that puts per-function tottime in context.
+    """
     from ..gamma.machine import GammaMachine
 
     spec = compile_point(
@@ -91,15 +96,20 @@ def profile_point(figure: str, strategy: str, mpl: int, cardinality: int,
     except ImportError:  # pragma: no cover - scipy is optional there
         pass
     profiler = cProfile.Profile()
+    started = time.perf_counter()
     profiler.enable()
     result = machine.run(mix, multiprogramming_level=mpl,
                          measured_queries=measured)
     profiler.disable()
-    return pstats.Stats(profiler), result
+    wall = time.perf_counter() - started
+    return pstats.Stats(profiler), result, wall
 
 
 def _rows(stats: pstats.Stats, sort: str, top: int):
     """The top *top* rows of *stats* ordered by *sort*, as dicts."""
+    # The CLI speaks pstats vocabulary ("cumulative"); the row dicts
+    # carry the stat-tuple field name ("cumtime").
+    sort_key = "cumtime" if sort == "cumulative" else sort
     items = []
     for (filename, lineno, name), (cc, nc, tottime, cumtime, _callers) \
             in stats.stats.items():
@@ -111,20 +121,21 @@ def _rows(stats: pstats.Stats, sort: str, top: int):
             "tottime": tottime,
             "cumtime": cumtime,
         })
-    items.sort(key=lambda row: row[sort], reverse=True)
+    items.sort(key=lambda row: row[sort_key], reverse=True)
     return items[:top]
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    stats, result = profile_point(
+    stats, result, wall = profile_point(
         args.figure, args.strategy, args.mpl, args.cardinality,
         args.num_sites, args.measured, args.seed)
     rows = _rows(stats, args.sort, args.top)
 
     header = (f"figure {args.figure}, strategy {args.strategy}, "
               f"mpl {args.mpl}, {args.measured} measured queries "
-              f"(throughput {result.throughput:.2f} q/s)")
+              f"(throughput {result.throughput:.2f} q/s, "
+              f"wall {wall:.2f}s)")
     print(header)
     print(f"top {len(rows)} by {args.sort}:")
     print(f"{'calls':>9}  {'tottime':>9}  {'cumtime':>9}  function")
@@ -144,6 +155,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "seed": args.seed,
             "sort": args.sort,
             "throughput": result.throughput,
+            "wall_seconds": wall,
             "rows": rows,
         }
         if args.json == "-":

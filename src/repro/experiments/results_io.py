@@ -65,6 +65,8 @@ def figure_to_dict(result: FigureResult) -> Dict:
     }
     if result.audit is not None:
         payload["audit"] = result.audit
+    if result.phases is not None:
+        payload["phases"] = result.phases
     return payload
 
 
@@ -104,7 +106,11 @@ def figure_from_dict(payload: Dict) -> FigureResult:
         # Optional placement-audit summary+digest (absent unless the
         # figure ran under --audit); kept verbatim so an offline
         # re-report can verify it against a freshly computed audit.
-        audit=payload.get("audit"))
+        audit=payload.get("audit"),
+        # Optional wall-clock phase attribution (absent in files saved
+        # before the observability layer, or with phases off); kept
+        # verbatim for repro-trace and offline reporting.
+        phases=payload.get("phases"))
     for name, runs in payload["series"].items():
         result.series[name] = [RunResult.from_json_dict(run)
                                for run in runs]

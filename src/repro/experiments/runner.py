@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..gamma import GAMMA_PARAMETERS, RunResult, SimulationParameters
-from ..obs import Telemetry, TelemetrySpec
+from ..obs import Telemetry, TelemetrySpec, phases
 from .cache import ResultCache
 from .config import ExperimentConfig
 from .executor import make_executor
@@ -73,6 +73,11 @@ class FigureResult:
     #: ...}, "digest": ...}``) attached by ``--audit``; round-trips
     #: through results-v2 JSON so cached runs re-report offline.
     audit: Optional[Dict] = None
+    #: Wall-clock phase attribution for the whole figure (a
+    #: :meth:`~repro.obs.phases.PhaseAccumulator.snapshot`: per-phase
+    #: seconds/counts, raw spans per pid, peak-RSS marks).  None when
+    #: phase collection was off; round-trips through results-v2 JSON.
+    phases: Optional[Dict] = None
 
     def throughput_at(self, strategy: str, mpl: int) -> float:
         for result in self.series[strategy]:
@@ -99,6 +104,8 @@ def run_experiment(config: ExperimentConfig,
                    cache: Optional[ResultCache] = None,
                    telemetry_spec: Optional[TelemetrySpec] = None,
                    check_invariants: bool = False,
+                   progress=None,
+                   collect_phases: bool = True,
                    ) -> FigureResult:
     """Regenerate one figure; returns every (strategy, MPL) run result.
 
@@ -111,25 +118,40 @@ def run_experiment(config: ExperimentConfig,
     objects themselves.  ``check_invariants`` runs every point under
     the conservation-law checker (see :mod:`repro.validation`): the
     first breach raises, results are bit-identical either way.
+
+    ``progress`` (a :class:`~repro.obs.progress.ProgressTracker`)
+    streams executor lifecycle events; ``collect_phases`` (default on)
+    records wall-clock phase attribution into the result.  Both are
+    purely observational: series and spec digests are bit-identical
+    with them on or off.
     """
     if telemetry_factory is not None and jobs != 1:
         raise ValueError(
             "telemetry_factory is serial-only (live telemetry cannot "
             "cross processes); use telemetry_spec with jobs > 1")
     started = time.time()
-    plan = compile_figure(config, cardinality=cardinality,
-                          num_sites=num_sites,
-                          measured_queries=measured_queries, mpls=mpls,
-                          seed=seed, params=params, strategies=strategies)
-    executor = make_executor(jobs)
-    provider = None
-    if telemetry_factory is not None:
-        provider = lambda spec: telemetry_factory(
-            spec.strategy, spec.multiprogramming_level)
-    outcomes = executor.execute(plan, cache=cache,
-                                telemetry_spec=telemetry_spec,
-                                telemetry_provider=provider,
-                                check_invariants=check_invariants)
+    accumulator = (phases.push(phases.PhaseAccumulator())
+                   if collect_phases else None)
+    try:
+        with phases.phase("plan-compile"):
+            plan = compile_figure(config, cardinality=cardinality,
+                                  num_sites=num_sites,
+                                  measured_queries=measured_queries,
+                                  mpls=mpls, seed=seed, params=params,
+                                  strategies=strategies)
+        executor = make_executor(jobs)
+        provider = None
+        if telemetry_factory is not None:
+            provider = lambda spec: telemetry_factory(
+                spec.strategy, spec.multiprogramming_level)
+        outcomes = executor.execute(plan, cache=cache,
+                                    telemetry_spec=telemetry_spec,
+                                    telemetry_provider=provider,
+                                    check_invariants=check_invariants,
+                                    progress=progress)
+    finally:
+        if accumulator is not None:
+            phases.pop(merge_into_parent=False)
 
     result = FigureResult(config=config, cardinality=cardinality,
                           num_sites=num_sites,
@@ -150,6 +172,8 @@ def run_experiment(config: ExperimentConfig,
                                 spec.multiprogramming_level)] = \
                 outcome.telemetry
     result.wall_seconds = time.time() - started
+    if accumulator is not None:
+        result.phases = accumulator.snapshot()
     return result
 
 

@@ -22,6 +22,20 @@ those explanations reproducible from a run:
 * :mod:`~repro.obs.telemetry` -- the per-run bundle; pass
   ``Telemetry()`` to :class:`~repro.gamma.machine.GammaMachine`, or
   nothing for the near-zero-cost disabled default.
+
+Everything above observes *simulated* time.  The wall-clock half of
+the layer lives beside it:
+
+* :mod:`~repro.obs.phases` -- nestable wall-clock phase timers
+  (plan-compile, relation-build, placement-build, simulate, cache I/O)
+  with peak-RSS/tracemalloc marks, recorded into results-v2 JSON;
+* :mod:`~repro.obs.progress` -- live executor progress: a stderr
+  status line or ``--progress jsonl`` machine stream, fed by run
+  lifecycle events and parallel-worker heartbeats;
+* the Chrome-trace/Perfetto exporter in :mod:`~repro.obs.export`
+  (``repro-trace`` CLI) rendering both halves as Catapult JSON;
+* :mod:`~repro.obs.ledger` -- the append-only perf-regression ledger
+  behind ``repro-perf``, fed by every ``BENCH_*.json`` writer.
 """
 
 from .audit import (
@@ -39,13 +53,27 @@ from .audit import (
 )
 from .export import (
     build_span_forest,
+    chrome_events_from_phase_spans,
+    chrome_events_from_span_records,
+    chrome_trace,
     load_jsonl,
     metric_records,
     render_prometheus,
     span_records,
+    validate_chrome_trace,
     validate_span_forest,
+    write_chrome_trace,
     write_metrics_jsonl,
     write_spans_jsonl,
+)
+from . import phases
+from .ledger import append_metrics, read_ledger, trend_table
+from .phases import PhaseAccumulator
+from .progress import (
+    NULL_PROGRESS,
+    NullProgress,
+    ProgressTracker,
+    read_progress_jsonl,
 )
 from .registry import (
     Counter,
@@ -102,4 +130,18 @@ __all__ = [
     "fragment_counts",
     "slice_spreads",
     "fanout_stats",
+    "phases",
+    "PhaseAccumulator",
+    "ProgressTracker",
+    "NullProgress",
+    "NULL_PROGRESS",
+    "read_progress_jsonl",
+    "chrome_trace",
+    "chrome_events_from_phase_spans",
+    "chrome_events_from_span_records",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "append_metrics",
+    "read_ledger",
+    "trend_table",
 ]

@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 import math
 import re
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
 
 from .registry import Counter, Gauge, Histogram, MetricsRegistry, Timeline
 from .spans import SpanLog
@@ -32,6 +32,11 @@ __all__ = [
     "load_jsonl",
     "build_span_forest",
     "validate_span_forest",
+    "chrome_trace",
+    "chrome_events_from_phase_spans",
+    "chrome_events_from_span_records",
+    "validate_chrome_trace",
+    "write_chrome_trace",
 ]
 
 
@@ -145,6 +150,121 @@ def validate_span_forest(records: List[Dict]) -> List[str]:
                 seen.add(current["span"])
                 current = spans.get(current["parent"])
     return errors
+
+
+# -- Chrome trace (Catapult JSON / Perfetto) -------------------------------
+
+#: Span attributes copied into a trace event's ``args`` when present.
+_SPAN_ARG_KEYS = ("qtype", "resource", "wait", "service", "pages",
+                  "sites", "truncated")
+
+
+def chrome_events_from_phase_spans(spans: List[Dict],
+                                   process_name: str = "wall-clock phases",
+                                   ) -> List[Dict]:
+    """Wall-clock phase spans as Catapult complete ("X") events.
+
+    *spans* is the ``spans`` list of a
+    :meth:`~repro.obs.phases.PhaseAccumulator.snapshot` -- epoch-second
+    ``start``/``dur`` plus the recording ``pid`` -- and every distinct
+    pid becomes its own track, so a ``--jobs N`` figure renders as N
+    worker lanes in Perfetto.  Timestamps are rebased to the earliest
+    span so traces start at t=0 regardless of wall epoch.
+    """
+    if not spans:
+        return []
+    base = min(span["start"] for span in spans)
+    events: List[Dict] = []
+    for pid in sorted({span.get("pid", 0) for span in spans}):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": f"{process_name} (pid {pid})"},
+        })
+    for span in spans:
+        events.append({
+            "name": span["name"],
+            "cat": "phase",
+            "ph": "X",
+            "ts": (span["start"] - base) * 1e6,
+            "dur": max(span["dur"], 0.0) * 1e6,
+            "pid": span.get("pid", 0),
+            "tid": span.get("depth", 0),
+            "args": {"depth": span.get("depth", 0)},
+        })
+    return events
+
+
+def chrome_events_from_span_records(records: List[Dict],
+                                    pid: int = 0,
+                                    process_name: str = "simulated time",
+                                    ) -> List[Dict]:
+    """Saved simulated-time span records as Catapult complete events.
+
+    *records* come from a ``spans.jsonl`` export (:func:`load_jsonl`).
+    Simulated seconds map to trace microseconds 1:1 (ts = start * 1e6)
+    and every query trace gets its own thread lane, so one query's span
+    tree stacks on one row.
+    """
+    events: List[Dict] = []
+    if records:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": process_name},
+        })
+    for record in records:
+        args = {key: record[key] for key in _SPAN_ARG_KEYS if key in record}
+        args["span"] = record.get("span")
+        args["parent"] = record.get("parent")
+        events.append({
+            "name": record["name"],
+            "cat": record.get("qtype", "span"),
+            "ph": "X",
+            "ts": record["start"] * 1e6,
+            "dur": max(record["end"] - record["start"], 0.0) * 1e6,
+            "pid": pid,
+            "tid": record["trace"],
+            "args": args,
+        })
+    return events
+
+
+def chrome_trace(events: List[Dict], metadata: Optional[Dict] = None) -> Dict:
+    """Wrap trace events in the Catapult JSON object format.
+
+    The result loads directly in Perfetto / ``chrome://tracing``.
+    """
+    payload = {"traceEvents": list(events), "displayTimeUnit": "ms"}
+    if metadata:
+        payload["otherData"] = dict(metadata)
+    return payload
+
+
+def validate_chrome_trace(payload: Dict) -> List[str]:
+    """Structural checks on a Catapult trace; returns readable errors."""
+    errors: List[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    if not any(event.get("ph") == "X" for event in events):
+        errors.append("no complete ('X') events in trace")
+    for index, event in enumerate(events):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                errors.append(f"event {index}: missing {key!r}")
+        if event.get("ph") == "X":
+            if not isinstance(event.get("ts"), (int, float)):
+                errors.append(f"event {index}: non-numeric ts")
+            if not isinstance(event.get("dur"), (int, float)) \
+                    or event.get("dur", 0) < 0:
+                errors.append(f"event {index}: bad dur")
+    return errors
+
+
+def write_chrome_trace(payload: Dict, path: str) -> int:
+    """Write a Catapult trace to *path*; returns the event count."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return len(payload.get("traceEvents", []))
 
 
 # -- Prometheus text format ------------------------------------------------------

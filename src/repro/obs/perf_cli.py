@@ -1,0 +1,103 @@
+"""Command-line entry point: ``repro-perf``.
+
+Reads (and optionally appends to) the perf-regression ledger written by
+the BENCH harnesses and renders a markdown trend table with the latest
+entry diffed against prior history.  Examples::
+
+    repro-perf                                    # full trend table
+    repro-perf --metric des_kernel_speedup        # one metric only
+    repro-perf --out trend.md                     # also write markdown
+    repro-perf --append smoke_wall_seconds=12.4 --benchmark obs-smoke
+                                                  # CI: record a row
+    repro-perf --ledger other.jsonl --last 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .ledger import (
+    DEFAULT_LEDGER_PATH,
+    append_metrics,
+    latest_diffs,
+    read_ledger,
+    trend_table,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _metric_pair(text: str):
+    name, sep, value = text.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"expected METRIC=VALUE, got {text!r}")
+    try:
+        return name, float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"value of {name!r} is not a number: {value!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-perf",
+        description="Diff and render the append-only perf ledger the "
+                    "BENCH_*.json writers feed "
+                    f"(default: {DEFAULT_LEDGER_PATH}).")
+    parser.add_argument("--ledger", default=DEFAULT_LEDGER_PATH,
+                        metavar="PATH", help="ledger JSONL file")
+    parser.add_argument("--metric", metavar="NAME",
+                        help="restrict the table to one metric")
+    parser.add_argument("--last", type=int, default=8, metavar="N",
+                        help="rows per metric in the table (default: 8)")
+    parser.add_argument("--out", metavar="FILE",
+                        help="also write the markdown table to FILE")
+    parser.add_argument("--append", type=_metric_pair, nargs="+",
+                        metavar="METRIC=VALUE",
+                        help="append rows (stamped with git sha, UTC "
+                             "time, host fingerprint) before rendering")
+    parser.add_argument("--benchmark", default="manual",
+                        help="benchmark name stamped on --append rows "
+                             "(default: manual)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.append:
+        rows = append_metrics(dict(args.append), benchmark=args.benchmark,
+                              path=args.ledger)
+        for row in rows:
+            print(f"appended {row['metric']}={row['value']:g} "
+                  f"(sha {row['git_sha']}, host {row['host']}) "
+                  f"to {args.ledger}")
+
+    rows, skipped = read_ledger(args.ledger)
+    if skipped:
+        print(f"(skipped {skipped} unparsable ledger line(s))",
+              file=sys.stderr)
+    table = trend_table(rows, metric=args.metric, last=args.last)
+    print(table, end="")
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(table)
+        print(f"(wrote {args.out})")
+
+    # Exit 0 even on an empty ledger: rendering history is a read-only
+    # report, not a gate.  Regression *gating* stays in the benchmarks.
+    diffs = latest_diffs(rows)
+    regressed = [name for name, diff in diffs.items()
+                 if diff["pct"] is not None and diff["pct"] < -10.0]
+    if regressed:
+        print(f"(note: >10% drop vs previous entry in: "
+              f"{', '.join(sorted(regressed))})", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,265 @@
+"""Wall-clock phase attribution: where real time goes between runs.
+
+The rest of :mod:`repro.obs` observes *simulated* time -- spans on the
+machine's clock, utilization timelines in simulated seconds.  This
+module is the missing other half: nestable wall-clock timers around the
+coarse phases every experiment passes through (plan-compile,
+relation-build, placement-build, simulate, cache-read/write,
+telemetry-detach), so "why did this figure take 90 seconds" has a
+measured answer instead of a guess.
+
+Design constraints, in order:
+
+1. **Zero perturbation.**  Phase timing never touches a simulation
+   seed, never reorders work, and records nothing but wall clocks and
+   memory high-water marks; series and spec digests are bit-identical
+   with phases on or off (asserted in the suite).
+2. **Zero cost when off.**  Instrumented code calls the module-level
+   :func:`phase` helper; with no accumulator installed it returns a
+   shared no-op context manager -- one global read and a ``None`` check.
+3. **Process-local.**  Accumulators live in a per-process stack.
+   Parallel workers install their own (:func:`push` after
+   :func:`reset`), snapshot it, and ship the plain-dict snapshot back
+   to the parent, which merges it with :meth:`PhaseAccumulator.merge`.
+
+The accumulator keeps both *totals* (per-phase seconds and entry
+counts) and, optionally, individual *spans* with epoch timestamps and
+the recording pid -- the raw material for the Chrome-trace exporter in
+:mod:`repro.obs.export` (one track per worker pid).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "PhaseAccumulator",
+    "phase",
+    "annotate",
+    "current",
+    "push",
+    "pop",
+    "reset",
+    "memory_snapshot",
+    "PHASE_NAMES",
+]
+
+#: The canonical phase vocabulary threaded through the harness.  Not
+#: enforced -- callers may time anything -- but exporters and docs key
+#: off these names.
+PHASE_NAMES = (
+    "plan-compile",
+    "relation-build",
+    "placement-build",
+    "simulate",
+    "telemetry-detach",
+    "cache-read",
+    "cache-write",
+)
+
+#: Retained spans are capped per accumulator so a multi-thousand-point
+#: sweep cannot grow an unbounded list; totals keep counting past it.
+MAX_SPANS = 10_000
+
+
+def memory_snapshot() -> Dict[str, Optional[float]]:
+    """Peak-RSS and (if tracing) tracemalloc high-water marks, in KiB.
+
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS; both are
+    normalized to KiB.  The tracemalloc figure is only present when the
+    caller already started tracing -- this module never enables it, as
+    tracemalloc slows allocation-heavy simulation code significantly.
+    """
+    peak_rss_kb: Optional[float] = None
+    try:
+        import resource
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        import sys
+        peak_rss_kb = peak / 1024.0 if sys.platform == "darwin" else float(peak)
+    except (ImportError, ValueError):  # pragma: no cover - non-Unix
+        pass
+    tracemalloc_peak_kb: Optional[float] = None
+    import tracemalloc
+    if tracemalloc.is_tracing():
+        _, peak_bytes = tracemalloc.get_traced_memory()
+        tracemalloc_peak_kb = peak_bytes / 1024.0
+    return {"peak_rss_kb": peak_rss_kb,
+            "tracemalloc_peak_kb": tracemalloc_peak_kb}
+
+
+class PhaseAccumulator:
+    """Collects nested wall-clock phases for one scope (run or figure).
+
+    ``listener``, when given, is called as ``listener(name, action,
+    elapsed)`` at every phase start and end (``action`` is ``"start"``
+    or ``"end"``, ``elapsed`` is seconds since the accumulator was
+    created).  Parallel workers use it to push heartbeats; it must not
+    raise.
+    """
+
+    def __init__(self, keep_spans: bool = True,
+                 listener: Optional[Callable[[str, str, float], None]] = None):
+        self.keep_spans = keep_spans
+        self.listener = listener
+        #: name -> [total_seconds, entry_count]
+        self.totals: Dict[str, List[float]] = {}
+        #: Numeric annotations summed across runs (events, sim seconds).
+        self.counters: Dict[str, float] = {}
+        #: Closed spans: {"name", "start" (epoch s), "dur", "pid", "depth"}.
+        self.spans: List[Dict[str, Any]] = []
+        self.dropped_spans = 0
+        #: Max memory marks merged in from worker snapshots.
+        self._merged_memory: Dict[str, Optional[float]] = {}
+        self._stack: List[List[Any]] = []  # [name, perf_start]
+        # Epoch base lets perf_counter intervals be placed on the wall
+        # clock (and aligned across processes) without per-span time()
+        # calls.
+        self._epoch_base = time.time() - time.perf_counter()
+        self._created = time.perf_counter()
+
+    # -- recording ---------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str):
+        started = time.perf_counter()
+        self._stack.append([name, started])
+        if self.listener is not None:
+            self.listener(name, "start", started - self._created)
+        try:
+            yield self
+        finally:
+            self._stack.pop()
+            ended = time.perf_counter()
+            total = self.totals.setdefault(name, [0.0, 0])
+            total[0] += ended - started
+            total[1] += 1
+            if self.keep_spans:
+                if len(self.spans) < MAX_SPANS:
+                    self.spans.append({
+                        "name": name,
+                        "start": self._epoch_base + started,
+                        "dur": ended - started,
+                        "pid": os.getpid(),
+                        "depth": len(self._stack),
+                    })
+                else:
+                    self.dropped_spans += 1
+            if self.listener is not None:
+                self.listener(name, "end", ended - self._created)
+
+    def annotate(self, **counters: float) -> None:
+        """Accumulate numeric facts about the work just timed.
+
+        Used by :func:`~repro.experiments.plan.execute_run` to record
+        agenda entries processed and the final simulated clock, which
+        the progress line turns into events/sec.
+        """
+        for name, value in counters.items():
+            self.counters[name] = self.counters.get(name, 0.0) + float(value)
+
+    @property
+    def open_phase(self) -> Optional[str]:
+        return self._stack[-1][0] if self._stack else None
+
+    def seconds(self, name: str) -> float:
+        entry = self.totals.get(name)
+        return entry[0] if entry else 0.0
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self, memory: bool = True) -> Dict[str, Any]:
+        """A plain-dict, picklable view of everything collected."""
+        payload: Dict[str, Any] = {
+            "totals": {name: {"seconds": total[0], "count": int(total[1])}
+                       for name, total in sorted(self.totals.items())},
+            "counters": dict(self.counters),
+            "spans": list(self.spans),
+            "dropped_spans": self.dropped_spans,
+        }
+        if memory:
+            local = memory_snapshot()
+            payload["memory"] = {
+                key: self._max_mark(local.get(key), self._merged_memory.get(key))
+                for key in set(local) | set(self._merged_memory)
+            }
+        return payload
+
+    @staticmethod
+    def _max_mark(*marks: Optional[float]) -> Optional[float]:
+        present = [mark for mark in marks if mark is not None]
+        return max(present) if present else None
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` (typically from a worker) into this one."""
+        for name, entry in snapshot.get("totals", {}).items():
+            total = self.totals.setdefault(name, [0.0, 0])
+            total[0] += entry["seconds"]
+            total[1] += entry["count"]
+        for name, value in snapshot.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0.0) + value
+        self.dropped_spans += snapshot.get("dropped_spans", 0)
+        for span in snapshot.get("spans", []):
+            if self.keep_spans and len(self.spans) < MAX_SPANS:
+                self.spans.append(dict(span))
+            else:
+                self.dropped_spans += 1
+        for key, value in (snapshot.get("memory") or {}).items():
+            self._merged_memory[key] = self._max_mark(
+                value, self._merged_memory.get(key))
+
+
+# -- module-level stack (per process) --------------------------------------
+
+_stack: List[PhaseAccumulator] = []
+
+#: Shared no-op context manager returned when no accumulator is installed.
+@contextmanager
+def _noop():
+    yield None
+
+
+def current() -> Optional[PhaseAccumulator]:
+    """The innermost installed accumulator, or None."""
+    return _stack[-1] if _stack else None
+
+
+def push(acc: PhaseAccumulator) -> PhaseAccumulator:
+    """Install *acc* as the current accumulator (nestable)."""
+    _stack.append(acc)
+    return acc
+
+
+def pop(merge_into_parent: bool = True) -> PhaseAccumulator:
+    """Remove the innermost accumulator.
+
+    With ``merge_into_parent`` (the default) its totals, counters and
+    spans fold into the enclosing accumulator, so a per-run scope
+    nested inside a per-figure scope contributes to both.
+    """
+    acc = _stack.pop()
+    if merge_into_parent and _stack:
+        _stack[-1].merge(acc.snapshot(memory=False))
+    return acc
+
+
+def reset() -> None:
+    """Drop every installed accumulator (fork-inherited state in workers)."""
+    _stack.clear()
+
+
+def phase(name: str):
+    """Time *name* on the current accumulator; no-op when none installed."""
+    acc = current()
+    if acc is None:
+        return _noop()
+    return acc.phase(name)
+
+
+def annotate(**counters: float) -> None:
+    """Annotate the current accumulator; no-op when none installed."""
+    acc = current()
+    if acc is not None:
+        acc.annotate(**counters)

@@ -1,0 +1,105 @@
+"""Command-line entry point: ``repro-trace``.
+
+Converts the harness's observability artifacts into one Chrome-trace /
+Perfetto (Catapult JSON) file:
+
+* ``--spans FILE...`` -- simulated-time query spans from a
+  ``*.spans.jsonl`` export (``repro-experiments --metrics-out``); each
+  file becomes its own process track, one thread lane per query trace,
+  with simulated seconds mapped to trace microseconds;
+* ``--results FILE...`` -- wall-clock phase spans embedded in a
+  results-v2 ``figure_*.json`` (the ``phases.spans`` list), one track
+  per worker pid.
+
+Both kinds can be combined into a single trace.  The output is
+validated structurally before writing and loads directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``.  Examples::
+
+    repro-trace --spans runs/8a_range_mpl16.spans.jsonl --out trace.json
+    repro-trace --results runs/figure_8a.json --out phases.json
+    repro-trace --spans runs/*.spans.jsonl --results runs/figure_8a.json \\
+        --out combined.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .export import (
+    chrome_events_from_phase_spans,
+    chrome_events_from_span_records,
+    chrome_trace,
+    load_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Export simulated-time spans and wall-clock phases "
+                    "as a Chrome-trace/Perfetto (Catapult JSON) file.")
+    parser.add_argument("--spans", nargs="+", metavar="JSONL", default=[],
+                        help="*.spans.jsonl export(s): simulated-time "
+                             "query spans")
+    parser.add_argument("--results", nargs="+", metavar="JSON", default=[],
+                        help="results-v2 figure JSON file(s): wall-clock "
+                             "phase spans (requires the run to have been "
+                             "made with phase collection on, the default)")
+    parser.add_argument("--out", default="trace.json", metavar="FILE",
+                        help="output trace path (default: trace.json)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not args.spans and not args.results:
+        print("repro-trace: nothing to export; pass --spans and/or "
+              "--results", file=sys.stderr)
+        return 2
+
+    events = []
+    # Each span file gets a distinct synthetic pid so multiple runs'
+    # simulated timelines sit on separate tracks.
+    for index, path in enumerate(args.spans):
+        records = load_jsonl(path)
+        stem = os.path.basename(path).replace(".spans.jsonl", "")
+        events += chrome_events_from_span_records(
+            records, pid=1000 + index,
+            process_name=f"simulated time: {stem}")
+        print(f"{path}: {len(records)} simulated-time spans")
+
+    for path in args.results:
+        with open(path) as handle:
+            payload = json.load(handle)
+        spans = (payload.get("phases") or {}).get("spans", [])
+        if not spans:
+            print(f"{path}: no wall-clock phase spans recorded "
+                  "(run saved with phases off?)", file=sys.stderr)
+            continue
+        events += chrome_events_from_phase_spans(
+            spans, process_name=f"wall clock: "
+                                f"{payload.get('figure', path)}")
+        print(f"{path}: {len(spans)} wall-clock phase spans")
+
+    trace = chrome_trace(events, metadata={"tool": "repro-trace"})
+    errors = validate_chrome_trace(trace)
+    if errors:
+        for error in errors:
+            print(f"repro-trace: invalid trace: {error}", file=sys.stderr)
+        return 1
+    count = write_chrome_trace(trace, args.out)
+    print(f"wrote {args.out} ({count} events); open in "
+          "https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""Unit tests for wall-clock phase attribution (:mod:`repro.obs.phases`)."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.obs import phases
+from repro.obs.phases import MAX_SPANS, PhaseAccumulator, memory_snapshot
+
+
+@pytest.fixture(autouse=True)
+def clean_stack():
+    """Every test starts and ends with no accumulator installed."""
+    phases.reset()
+    yield
+    phases.reset()
+
+
+class TestAccumulator:
+    def test_totals_accumulate_seconds_and_counts(self):
+        acc = PhaseAccumulator()
+        with acc.phase("simulate"):
+            pass
+        with acc.phase("simulate"):
+            pass
+        snap = acc.snapshot(memory=False)
+        assert snap["totals"]["simulate"]["count"] == 2
+        assert snap["totals"]["simulate"]["seconds"] >= 0.0
+
+    def test_nested_phases_record_depth(self):
+        acc = PhaseAccumulator()
+        with acc.phase("outer"):
+            with acc.phase("inner"):
+                assert acc.open_phase == "inner"
+        depths = {span["name"]: span["depth"] for span in acc.spans}
+        assert depths == {"outer": 0, "inner": 1}
+        assert all(span["pid"] == os.getpid() for span in acc.spans)
+
+    def test_exception_still_closes_phase(self):
+        acc = PhaseAccumulator()
+        with pytest.raises(RuntimeError):
+            with acc.phase("simulate"):
+                raise RuntimeError("boom")
+        assert acc.open_phase is None
+        assert acc.snapshot(memory=False)["totals"]["simulate"]["count"] == 1
+
+    def test_span_cap_counts_drops(self):
+        acc = PhaseAccumulator()
+        acc.spans = [{"name": "x"}] * MAX_SPANS
+        with acc.phase("overflow"):
+            pass
+        assert len(acc.spans) == MAX_SPANS
+        assert acc.dropped_spans == 1
+        # Totals keep counting past the cap.
+        assert acc.seconds("overflow") >= 0.0
+
+    def test_annotate_sums_counters(self):
+        acc = PhaseAccumulator()
+        acc.annotate(events=100, sim_seconds=1.5)
+        acc.annotate(events=50)
+        assert acc.counters == {"events": 150.0, "sim_seconds": 1.5}
+
+    def test_snapshot_is_picklable_plain_data(self):
+        acc = PhaseAccumulator()
+        with acc.phase("simulate"):
+            acc.annotate(events=3)
+        snap = acc.snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+    def test_merge_folds_worker_snapshot(self):
+        worker = PhaseAccumulator()
+        with worker.phase("simulate"):
+            worker.annotate(events=10)
+        parent = PhaseAccumulator()
+        with parent.phase("cache-read"):
+            pass
+        parent.merge(worker.snapshot())
+        snap = parent.snapshot(memory=False)
+        assert set(snap["totals"]) == {"simulate", "cache-read"}
+        assert snap["counters"]["events"] == 10.0
+        # Worker spans arrive verbatim (the pid keys the trace track).
+        assert any(s["name"] == "simulate" for s in snap["spans"])
+
+    def test_merge_keeps_max_memory_mark(self):
+        parent = PhaseAccumulator()
+        parent.merge({"memory": {"peak_rss_kb": 1e12}})
+        snap = parent.snapshot(memory=True)
+        assert snap["memory"]["peak_rss_kb"] == 1e12
+
+    def test_listener_sees_start_and_end(self):
+        calls = []
+        acc = PhaseAccumulator(
+            listener=lambda name, action, t: calls.append((name, action)))
+        with acc.phase("simulate"):
+            pass
+        assert calls == [("simulate", "start"), ("simulate", "end")]
+
+
+class TestModuleStack:
+    def test_phase_is_noop_without_accumulator(self):
+        assert phases.current() is None
+        with phases.phase("simulate"):
+            pass  # must not raise or record anywhere
+        phases.annotate(events=5)  # ditto
+
+    def test_pop_merges_into_parent_by_default(self):
+        outer = phases.push(PhaseAccumulator())
+        phases.push(PhaseAccumulator())
+        with phases.phase("simulate"):
+            pass
+        phases.pop()
+        assert phases.current() is outer
+        assert outer.seconds("simulate") >= 0.0
+        assert outer.snapshot(memory=False)["totals"]["simulate"]["count"] == 1
+
+    def test_pop_without_merge_keeps_parent_clean(self):
+        outer = phases.push(PhaseAccumulator())
+        phases.push(PhaseAccumulator())
+        with phases.phase("simulate"):
+            pass
+        phases.pop(merge_into_parent=False)
+        assert outer.snapshot(memory=False)["totals"] == {}
+
+    def test_reset_clears_inherited_state(self):
+        phases.push(PhaseAccumulator())
+        phases.reset()
+        assert phases.current() is None
+
+
+class TestMemorySnapshot:
+    def test_reports_peak_rss_on_unix(self):
+        marks = memory_snapshot()
+        assert marks["peak_rss_kb"] is None or marks["peak_rss_kb"] > 0
+
+    def test_tracemalloc_mark_absent_unless_tracing(self):
+        import tracemalloc
+        if not tracemalloc.is_tracing():
+            assert memory_snapshot()["tracemalloc_peak_kb"] is None

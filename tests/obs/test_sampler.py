@@ -104,3 +104,36 @@ class TestLifecycle:
         # Nothing elapsed since: a second call is a no-op.
         sampler.final_sample()
         assert len(timeline) == 1
+
+    def test_final_sample_at_exact_tick_is_noop(self, env, registry):
+        """End-of-run flush at the precise periodic-sample moment.
+
+        When the measurement window ends exactly on a sampling tick the
+        final interval has zero length: the flush must not divide rate
+        or ratio probes by dt == 0, must not emit a duplicate timeline
+        point, and must leave the sample counter untouched.
+        """
+        sampler = TimelineSampler(env, registry, interval=1.0)
+        busy = {"seconds": 0.0}
+        state = {"hits": 0.0, "total": 0.0}
+        sampler.add_rate_probe("cpu", lambda: busy["seconds"])
+        sampler.add_ratio_probe("hit_rate", lambda: state["hits"],
+                                lambda: state["total"])
+        sampler.start()
+
+        def workload(env):
+            while True:
+                yield env.timeout(1.0)
+                busy["seconds"] += 0.5
+                state["hits"] += 1.0
+                state["total"] += 2.0
+
+        env.process(workload(env))
+        env.run(until=3.0)  # ends exactly on the third tick
+        taken = sampler.samples_taken
+        points_before = {name: list(registry.get(name).points)
+                         for name in ("cpu", "hit_rate")}
+        sampler.final_sample()  # dt == 0: must be a clean no-op
+        assert sampler.samples_taken == taken
+        for name, before in points_before.items():
+            assert list(registry.get(name).points) == before
