@@ -28,7 +28,7 @@ from .assignment import (
 )
 from .berd import AuxiliaryIndex, BerdPlacement, BerdStrategy
 from .cost_model import AverageQuery, MagicCostModel, QueryProfile
-from .directory import GridDirectory
+from .directory import GridDirectory, SliceOwnerTracker
 from .gridfile import build_equal_width, build_from_shape, build_gridfile
 from .hash_partition import HashPlacement, HashStrategy
 from .magic import MagicPlacement, MagicStrategy, MagicTuning
@@ -65,6 +65,7 @@ __all__ = [
     "QueryProfile",
     "AverageQuery",
     "GridDirectory",
+    "SliceOwnerTracker",
     "build_from_shape",
     "build_equal_width",
     "build_gridfile",

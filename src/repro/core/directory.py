@@ -21,7 +21,7 @@ import numpy as np
 
 from .strategy import RangePredicate
 
-__all__ = ["GridDirectory"]
+__all__ = ["GridDirectory", "SliceOwnerTracker"]
 
 
 class GridDirectory:
@@ -196,10 +196,75 @@ class GridDirectory:
         assignment = self._require_assignment()
         dim = self.dimension_of(attribute)
         moved = np.moveaxis(assignment, dim, 0)
-        return [int(len(np.unique(moved[i].ravel())))
-                for i in range(moved.shape[0])]
+        flat = moved.reshape(moved.shape[0], -1)
+        if flat.shape[1] == 0:
+            return [0] * flat.shape[0]
+        # One sort per slice, all slices at once: a slice's distinct
+        # count is 1 + the number of adjacent inequalities in its sorted
+        # owners -- no per-slice np.unique calls.
+        ordered = np.sort(flat, axis=1)
+        distinct = (np.diff(ordered, axis=1) != 0).sum(axis=1) + 1
+        return [int(v) for v in distinct]
+
+    def owner_tracker(self, attribute: str,
+                      num_sites: int) -> "SliceOwnerTracker":
+        """An incrementally-maintained per-slice distinct-owner view."""
+        return SliceOwnerTracker(self, self.dimension_of(attribute),
+                                 num_sites)
 
     def describe(self) -> str:
         dims = "x".join(str(n) for n in self.shape)
         return (f"grid directory {dims} on {self.attributes}, "
                 f"{self.total_tuples} tuples")
+
+
+class SliceOwnerTracker:
+    """Per-slice owner multiset of one dimension, maintained incrementally.
+
+    ``counts[i, p]`` is how many entries of slice *i* are assigned to
+    processor *p*; ``distinct(i)`` is the slice's distinct-owner count.
+    A single-entry reassignment updates both in O(1) via :meth:`move`,
+    so diversity checks over thousands of candidate moves cost array
+    lookups instead of an ``np.unique`` over the slice each time.
+
+    The tracker is a snapshot plus the moves replayed through it: callers
+    mutating ``directory.assignment`` behind its back must rebuild it.
+    """
+
+    def __init__(self, directory: GridDirectory, dim: int, num_sites: int):
+        assignment = directory._require_assignment()
+        moved = np.moveaxis(assignment, dim, 0)
+        flat = moved.reshape(moved.shape[0], -1)
+        n = flat.shape[0]
+        counts = np.zeros((n, num_sites), dtype=np.int64)
+        rows = np.repeat(np.arange(n), flat.shape[1])
+        np.add.at(counts, (rows, flat.ravel()), 1)
+        self.counts = counts
+        self._distinct = (counts > 0).sum(axis=1).astype(np.int64)
+
+    def distinct(self, index: int) -> int:
+        """Distinct owner count of slice *index*."""
+        return int(self._distinct[index])
+
+    def distinct_counts(self) -> np.ndarray:
+        """Distinct owner count of every slice (a copy)."""
+        return self._distinct.copy()
+
+    def distinct_with(self, indices, site: int) -> np.ndarray:
+        """Distinct count each slice in *indices* would have with *site*.
+
+        Vectorized equivalent of
+        ``len(np.unique(np.append(slice_owners, site)))`` per slice.
+        """
+        indices = np.asarray(indices)
+        return self._distinct[indices] + (self.counts[indices, site] == 0)
+
+    def move(self, index: int, old_site: int, new_site: int) -> None:
+        """Record one entry of slice *index* moving between processors."""
+        counts = self.counts
+        counts[index, old_site] -= 1
+        if counts[index, old_site] == 0:
+            self._distinct[index] -= 1
+        if counts[index, new_site] == 0:
+            self._distinct[index] += 1
+        counts[index, new_site] += 1

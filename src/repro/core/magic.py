@@ -251,7 +251,15 @@ class MagicStrategy(DeclusteringStrategy):
                                    relation.column(attr), side="left")
             flat_entry = flat_entry * directory.shape[dim] + bins
         site_of_tuple = directory.assignment.ravel()[flat_entry]
+        # Group tuple indices by site in one stable sort instead of one
+        # full-relation scan per site (O(n log n) vs O(P * n)); within a
+        # site the stable sort keeps indices ascending, exactly what the
+        # per-site np.nonzero scan used to produce.
+        order = np.argsort(site_of_tuple, kind="stable")
+        starts = np.searchsorted(site_of_tuple[order],
+                                 np.arange(num_sites + 1))
         return [
-            relation.fragment(np.nonzero(site_of_tuple == site)[0], site=site)
+            relation.fragment(order[starts[site]:starts[site + 1]],
+                              site=site)
             for site in range(num_sites)
         ]

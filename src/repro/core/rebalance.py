@@ -19,6 +19,36 @@ We implement exactly that: per iteration, take the heaviest and lightest
 processors, evaluate every same-dimension slice pair's effect on those
 two processors' weight difference (vectorized), apply the best swap, stop
 when no swap improves or the iteration budget is exhausted.
+
+Cost model at scale
+-------------------
+
+The search state only changes when a swap is applied.  Everything
+computed against an unchanged directory is therefore reusable, and this
+module exploits that aggressively so the stuck-case candidate-pool
+widening (which used to rebuild every per-candidate matmul each rung of
+the doubling ladder, an O(P) pile of matmuls per iteration at large P)
+costs each matmul and each (heavy, light) pair evaluation exactly once
+per directory state:
+
+* per-processor weights are maintained incrementally -- the applied
+  swap's recomputed weight vector (exact int64 arithmetic, identical to
+  a fresh bincount) becomes the next iteration's weights;
+* per-dimension slice matrices and per-candidate swap-delta matrices are
+  cached across stuck iterations and extended only with the candidates
+  the widened pool adds;
+* (dim, heavy, light) pairs that failed to improve the objective are
+  skipped on re-visit: a stuck iteration leaves weights and directory
+  untouched, so a previously rejected pair can never become the best
+  swap of a later rung.
+
+The widening ladder itself is bounded by ``max_pool`` (default 64):
+below that many sites the search is exhaustive exactly as before, above
+it the proposal set stops growing with P, keeping the worst case
+O(max_pool) matmuls per directory state instead of O(P).  All three
+mechanisms are behavior-preserving for P <= max_pool -- the swap
+sequence (and hence the final assignment) is bit-identical to the
+pre-cache implementation.
 """
 
 from __future__ import annotations
@@ -29,7 +59,15 @@ import numpy as np
 
 from .directory import GridDirectory
 
-__all__ = ["rebalance_assignment", "entry_exchange", "load_spread"]
+__all__ = ["rebalance_assignment", "entry_exchange", "load_spread",
+           "last_rebalance_stats"]
+
+#: Search-effort counters of the most recent :func:`rebalance_assignment`
+#: call, updated in place (import the dict once and re-read it).  Used by
+#: scaling regression tests to pin the widening ladder's cost; not part
+#: of the placement API.
+last_rebalance_stats = {"iterations": 0, "widenings": 0,
+                        "delta_builds": 0, "pairs_evaluated": 0}
 
 
 def load_spread(weights: np.ndarray) -> int:
@@ -49,38 +87,29 @@ def _slice_matrices(directory: GridDirectory, dim: int):
     return counts.reshape(n, -1), assign.reshape(n, -1)
 
 
-class _DimensionSwapTable:
-    """Per-(iteration, dimension) cache of slice-swap weight deltas.
+def _swap_delta(x: np.ndarray, a: np.ndarray, p: int) -> np.ndarray:
+    """``delta[s, t]``: weight change of processor *p* if slices (s, t)
+    of the dimension behind (x, a) were swapped.
 
-    For every candidate processor *p* precomputes ``cross_p[s, t] =``
-    tuple weight processor *p* would receive from slice *s* if it were
-    re-labelled with slice *t*'s assignment.  Each (heavy, light) query
-    then reduces to cheap array arithmetic; the expensive matmuls are
-    shared across all candidate pairs.
+    One matmul per (directory state, dimension, candidate processor);
+    every (heavy, light) query against it is cheap array arithmetic.
     """
+    mask = (a == p).astype(np.int64)
+    cross = x @ mask.T  # cross[s, t]
+    own = np.diagonal(cross).copy()
+    return cross + cross.T - own[:, None] - own[None, :]
 
-    def __init__(self, directory: GridDirectory, dim: int, procs):
-        self._x, self._a = _slice_matrices(directory, dim)
-        self._delta = {}
-        for p in procs:
-            mask = (self._a == p).astype(np.int64)
-            cross = self._x @ mask.T  # cross[s, t]
-            own = np.diagonal(cross).copy()
-            # After swapping (s, t): w[p] += delta[s, t].
-            self._delta[p] = (cross + cross.T
-                              - own[:, None] - own[None, :])
 
-    def best_pair(self, heavy: int, light: int,
-                  weights: np.ndarray) -> Optional[Tuple[int, int, int]]:
-        """Best slice pair reducing |w[heavy] - w[light]|, or None."""
-        gap = int(weights[heavy] - weights[light])
-        new_gap = np.abs(gap + self._delta[heavy] - self._delta[light])
-        np.fill_diagonal(new_gap, gap)  # self-swap: no-op
-        s1, s2 = np.unravel_index(int(np.argmin(new_gap)), new_gap.shape)
-        improvement = gap - int(new_gap[s1, s2])
-        if improvement <= 0:
-            return None
-        return improvement, int(s1), int(s2)
+def _best_pair(delta_heavy: np.ndarray, delta_light: np.ndarray,
+               gap: int) -> Optional[Tuple[int, int, int]]:
+    """Best slice pair reducing the (heavy, light) gap, or None."""
+    new_gap = np.abs(gap + delta_heavy - delta_light)
+    np.fill_diagonal(new_gap, gap)  # self-swap: no-op
+    s1, s2 = np.unravel_index(int(np.argmin(new_gap)), new_gap.shape)
+    improvement = gap - int(new_gap[s1, s2])
+    if improvement <= 0:
+        return None
+    return improvement, int(s1), int(s2)
 
 
 def _apply_swap(directory: GridDirectory, dim: int, s1: int, s2: int) -> None:
@@ -90,10 +119,9 @@ def _apply_swap(directory: GridDirectory, dim: int, s1: int, s2: int) -> None:
     assign[s2] = tmp
 
 
-def _weights_after_swap(directory: GridDirectory, dim: int, s1: int, s2: int,
+def _weights_after_swap(x: np.ndarray, a: np.ndarray, s1: int, s2: int,
                         weights: np.ndarray, num_sites: int) -> np.ndarray:
-    """Per-processor weights if slices (s1, s2) of *dim* were swapped."""
-    x, a = _slice_matrices(directory, dim)
+    """Per-processor weights if slices (s1, s2) of (x, a) were swapped."""
     new = weights.astype(np.int64).copy()
     new -= np.bincount(a[s1], weights=x[s1], minlength=num_sites).astype(np.int64)
     new -= np.bincount(a[s2], weights=x[s2], minlength=num_sites).astype(np.int64)
@@ -116,6 +144,13 @@ def entry_exchange(directory: GridDirectory, num_sites: int,
     what it was when the pass started -- bounding the localization cost
     (a K=2 grid's row/column may gain at most that many processors).
 
+    Per-processor weights and per-slice distinct-owner counts are
+    maintained incrementally across moves (the weight vector via exact
+    integer updates, the diversity via :class:`SliceOwnerTracker`), and
+    each move's candidate scan is fully vectorized -- no per-move grid
+    bincount, no per-candidate ``np.unique``.  The move sequence is
+    identical to the original scalar implementation.
+
     Only implementable for 2-D directories (the paper's K); for other
     ranks it is a no-op.  Returns the number of moves applied.
     """
@@ -127,54 +162,64 @@ def entry_exchange(directory: GridDirectory, num_sites: int,
         return 0
     assignment = directory.assignment
     counts = directory.counts
-    row_cap = [v + diversity_slack
-               for v in directory.distinct_sites_per_slice(
-                   directory.attributes[0])]
-    col_cap = [v + diversity_slack
-               for v in directory.distinct_sites_per_slice(
-                   directory.attributes[1])]
+    row_tracker = directory.owner_tracker(directory.attributes[0], num_sites)
+    col_tracker = directory.owner_tracker(directory.attributes[1], num_sites)
+    row_cap = row_tracker.distinct_counts() + diversity_slack
+    col_cap = col_tracker.distinct_counts() + diversity_slack
 
+    weights = directory.tuples_per_site(num_sites)
     moves = 0
     for _ in range(max_moves):
-        weights = directory.tuples_per_site(num_sites)
         heavy = int(weights.argmax())
         light = int(weights.argmin())
         gap = int(weights[heavy] - weights[light])
         if gap <= 1:
             break
         rows, cols = np.nonzero((assignment == heavy) & (counts > 0))
-        best = None
-        for r, c in zip(rows, cols):
-            weight = int(counts[r, c])
-            if weight > gap:
-                continue  # the move would overshoot
-            row_div = len(np.unique(np.append(assignment[r, :], light)))
-            col_div = len(np.unique(np.append(assignment[:, c], light)))
-            if row_div > row_cap[r] or col_div > col_cap[c]:
-                continue
-            badness = abs(gap - 2 * weight)
-            if best is None or badness < best[0]:
-                best = (badness, int(r), int(c))
-        if best is None:
+        if rows.size == 0:
             break
-        _, r, c = best
+        entry_weights = counts[rows, cols].astype(np.int64)
+        # A candidate qualifies when the move does not overshoot the gap
+        # and neither of its slices would exceed its diversity cap.
+        ok = entry_weights <= gap
+        ok &= row_tracker.distinct_with(rows, light) <= row_cap[rows]
+        ok &= col_tracker.distinct_with(cols, light) <= col_cap[cols]
+        qualifying = np.nonzero(ok)[0]
+        if qualifying.size == 0:
+            break
+        # np.nonzero enumerates row-major, matching the original scan
+        # order; argmin takes the first minimum, matching its strict-<
+        # tie-break.
+        badness = np.abs(gap - 2 * entry_weights[qualifying])
+        pick = int(qualifying[int(np.argmin(badness))])
+        r, c = int(rows[pick]), int(cols[pick])
+        weight = int(counts[r, c])
         assignment[r, c] = light
+        row_tracker.move(r, heavy, light)
+        col_tracker.move(c, heavy, light)
+        weights[heavy] -= weight
+        weights[light] += weight
         moves += 1
     return moves
 
 
 def rebalance_assignment(directory: GridDirectory, num_sites: int,
                          max_iterations: int = 200,
-                         candidate_processors: int = 3) -> int:
+                         candidate_processors: int = 3,
+                         max_pool: Optional[int] = 64) -> int:
     """Hill-climb slice swaps until per-processor tuple loads stabilize.
 
     Each iteration proposes, for the ``candidate_processors`` heaviest and
     lightest processors, the slice pair that most reduces that pair's
     weight difference (the paper's move), then applies the proposal that
-    most reduces the *global* load spread.  Mutates
-    ``directory.assignment`` in place and returns the number of swaps
-    applied.  Slice swaps never change the distinct-processor count of
-    any slice, so the M_i goals of the assignment are preserved.
+    most reduces the *global* load spread.  When stuck, the candidate
+    pool doubles (skewed directories often need mid-weight processors in
+    the proposal set to escape local optima) up to ``max_pool`` sites --
+    ``None`` restores the unbounded pre-scale behavior of widening all
+    the way to ``num_sites``.  Mutates ``directory.assignment`` in place
+    and returns the number of swaps applied.  Slice swaps never change
+    the distinct-processor count of any slice, so the M_i goals of the
+    assignment are preserved.
     """
     if directory.assignment is None:
         raise RuntimeError("directory has no assignment to rebalance")
@@ -186,11 +231,24 @@ def rebalance_assignment(directory: GridDirectory, num_sites: int,
         w = w.astype(np.float64)
         return (float((w * w).sum()), load_spread(w.astype(np.int64)))
 
+    stats = last_rebalance_stats
+    stats.update(iterations=0, widenings=0, delta_builds=0,
+                 pairs_evaluated=0)
+
     swaps = 0
     pool = max(1, candidate_processors)
+    pool_limit = (num_sites if max_pool is None
+                  else min(num_sites, max(pool, max_pool)))
+    weights = directory.tuples_per_site(num_sites)
+    current = objective(weights)
+    # All three caches describe the *current* directory/weights state;
+    # they survive stuck-pool widenings and are flushed on every applied
+    # swap.
+    slice_cache = {}  # dim -> (x, a)
+    delta_cache = {}  # dim -> {processor: delta matrix}
+    rejected = set()  # (dim, heavy, light) pairs proven non-improving
     for _ in range(max_iterations):
-        weights = directory.tuples_per_site(num_sites)
-        current = objective(weights)
+        stats["iterations"] += 1
         if current[1] == 0:
             break
         order = np.argsort(weights)
@@ -198,31 +256,53 @@ def rebalance_assignment(directory: GridDirectory, num_sites: int,
         heavies = [int(p) for p in order[-pool:][::-1]]
         candidates = set(lights) | set(heavies)
         best = None  # (objective, dim, s1, s2)
+        best_weights = None
         for dim in range(directory.ndim):
-            table = _DimensionSwapTable(directory, dim, candidates)
+            if dim not in slice_cache:
+                slice_cache[dim] = _slice_matrices(directory, dim)
+            x, a = slice_cache[dim]
+            deltas = delta_cache.setdefault(dim, {})
+            for p in candidates:
+                if p not in deltas:
+                    deltas[p] = _swap_delta(x, a, p)
+                    stats["delta_builds"] += 1
             for heavy in heavies:
                 for light in lights:
                     if weights[heavy] <= weights[light]:
                         continue
-                    cand = table.best_pair(heavy, light, weights)
+                    key = (dim, heavy, light)
+                    if key in rejected:
+                        continue
+                    stats["pairs_evaluated"] += 1
+                    gap = int(weights[heavy] - weights[light])
+                    cand = _best_pair(deltas[heavy], deltas[light], gap)
                     if cand is None:
+                        rejected.add(key)
                         continue
                     _, s1, s2 = cand
-                    new_obj = objective(_weights_after_swap(
-                        directory, dim, s1, s2, weights, num_sites))
+                    new_weights = _weights_after_swap(
+                        x, a, s1, s2, weights, num_sites)
+                    new_obj = objective(new_weights)
                     if new_obj < current and (
                             best is None or new_obj < best[0]):
                         best = (new_obj, dim, s1, s2)
+                        best_weights = new_weights
+                    elif new_obj >= current:
+                        rejected.add(key)
         if best is None:
-            # Stuck with this candidate pool: widen it before giving up
-            # (skewed directories often need mid-weight processors in the
-            # proposal set to escape local optima).
-            if pool >= num_sites:
+            # Stuck with this candidate pool: widen it before giving up.
+            if pool >= pool_limit:
                 break
-            pool = min(pool * 2, num_sites)
+            pool = min(pool * 2, pool_limit)
+            stats["widenings"] += 1
             continue
         _, dim, s1, s2 = best
         _apply_swap(directory, dim, s1, s2)
         swaps += 1
+        weights = best_weights
+        current = best[0]
         pool = max(1, candidate_processors)
+        slice_cache.clear()
+        delta_cache.clear()
+        rejected.clear()
     return swaps

@@ -37,7 +37,8 @@ from .results_io import (
     save_figure_json,
 )
 from .cache import ResultCache
-from .config import ATTR_A, ATTR_B, DEFAULT_MPLS, ExperimentConfig, FIGURES
+from .config import (ATTR_A, ATTR_B, DEFAULT_MPLS, SCALEUP_SITES,
+                     ExperimentConfig, FIGURES)
 from .executor import (
     ExecutionOutcome,
     ParallelExecutor,
@@ -72,6 +73,7 @@ from .audit_report import (
     write_report,
 )
 from .explain import ExplainResult, explain_figure
+from .scaleup import ScaleupPoint, ScaleupResult, run_scaleup
 from .runner import (
     FigureResult,
     TelemetryFactory,
@@ -83,8 +85,12 @@ __all__ = [
     "ExperimentConfig",
     "FIGURES",
     "DEFAULT_MPLS",
+    "SCALEUP_SITES",
     "ATTR_A",
     "ATTR_B",
+    "ScaleupPoint",
+    "ScaleupResult",
+    "run_scaleup",
     "RunSpec",
     "PlannedRun",
     "RunPlan",

@@ -144,6 +144,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated axis values for --sweep")
     parser.add_argument("--sweep-figure", default="8a",
                         help="figure config the sweep is based on")
+    parser.add_argument("--scaleup", action="store_true",
+                        help="run the scale-up experiment: machine sizes "
+                             "32..1024 at a fixed MPL, reporting "
+                             "throughput, placement-build seconds and DES "
+                             "events/sec per size (see docs/scaling.md)")
+    parser.add_argument("--scaleup-figure", default="8a",
+                        choices=sorted(FIGURES),
+                        help="figure config the scale-up run is based on "
+                             "(default: 8a)")
+    parser.add_argument("--scaleup-sites", metavar="P1,P2,...",
+                        type=_mpl_list,
+                        help="override the machine sizes swept "
+                             "(default: 32,128,512,1024)")
+    parser.add_argument("--scaleup-mpl", type=int, default=8,
+                        help="multiprogramming level for --scaleup "
+                             "(default: 8)")
     parser.add_argument("--report", metavar="DIR",
                         help="render a markdown report from figure_*.json "
                              "files previously saved with --save-json")
@@ -322,6 +338,54 @@ def main(argv: Optional[List[str]] = None) -> int:
             out.append(row)
         out.append(f"(jobs {result.jobs}; {result.executed_runs} simulated, "
                    f"{result.cached_runs} from cache)")
+        did_something = True
+    if args.scaleup:
+        from .config import SCALEUP_SITES
+        from .scaleup import run_scaleup
+        sites = args.scaleup_sites or SCALEUP_SITES
+
+        def note_point(point):
+            print(f"  P={point.num_sites:5d} {point.strategy:>6}: "
+                  f"build {point.placement_build_seconds:6.2f}s  "
+                  f"simulate {point.simulate_seconds:6.2f}s  "
+                  f"{point.events_per_sec:9.0f} events/s",
+                  file=sys.stderr)
+
+        result = run_scaleup(
+            figure=args.scaleup_figure, sites=sites,
+            multiprogramming_level=args.scaleup_mpl,
+            cardinality=args.cardinality,
+            measured_queries=(QUICK_MEASURED if args.quick
+                              else args.measured),
+            seed=args.seed, check_invariants=args.check_invariants,
+            on_point=note_point)
+        out.append(f"Scale-up (figure {result.figure}, "
+                   f"MPL {result.multiprogramming_level}):")
+        strategies = list(result.strategies)
+        header = f"{'sites':>8}" + "".join(f"{s:>10}" for s in strategies)
+        header += f"{'build(s)':>12}{'events/s':>12}"
+        out.append(header)
+        for num_sites in result.sites:
+            row = f"{num_sites:8d}"
+            at_size = [p for p in result.points
+                       if p.num_sites == num_sites]
+            series = {p.strategy: p.result.throughput for p in at_size}
+            for s in strategies:
+                row += f"{series.get(s, float('nan')):10.1f}"
+            rates = [p.events_per_sec for p in at_size
+                     if p.events_per_sec > 0]
+            row += (f"{result.placement_build_seconds(num_sites):12.2f}"
+                    f"{(sum(rates) / len(rates)) if rates else 0.0:12.0f}")
+            out.append(row)
+        if args.save_json:
+            import json
+            import os
+            os.makedirs(args.save_json, exist_ok=True)
+            path = os.path.join(args.save_json,
+                                f"scaleup_{result.figure}.json")
+            with open(path, "w") as handle:
+                json.dump(result.to_json_dict(), handle, indent=1)
+            out.append(f"(saved {path})")
         did_something = True
     if args.explain:
         from .explain import explain_figure

@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-__all__ = ["ExperimentConfig", "FIGURES", "DEFAULT_MPLS", "ATTR_A", "ATTR_B"]
+__all__ = ["ExperimentConfig", "FIGURES", "DEFAULT_MPLS", "ATTR_A", "ATTR_B",
+           "SCALEUP_SITES"]
 
 #: The workload's attribute A / B (paper §6: unique1 / unique2).
 ATTR_A = "unique1"
@@ -21,6 +22,10 @@ ATTR_B = "unique2"
 
 #: The paper's x-axis: multiprogramming levels 1..64.
 DEFAULT_MPLS: Tuple[int, ...] = (1, 8, 16, 24, 32, 40, 48, 56, 64)
+
+#: The scale-up figure's x-axis: machine sizes from the paper's 32 up to
+#: the production-scale 1,024 sites the ROADMAP targets.
+SCALEUP_SITES: Tuple[int, ...] = (32, 128, 512, 1024)
 
 
 @dataclass(frozen=True)

@@ -53,6 +53,9 @@ AXES: Dict[str, SweepAxis] = {
     "processors": SweepAxis(
         "processors", lambda v: {"num_sites": int(v)},
         "machine size (number of processors)"),
+    "num_sites": SweepAxis(
+        "num_sites", lambda v: {"num_sites": int(v)},
+        "machine size (alias of processors; the scale-up figure axis)"),
     "qb_selectivity": SweepAxis(
         "qb_selectivity", lambda v: {"qb_low_tuples": int(v)},
         "tuples retrieved by the low QB query (Figure 9 axis)"),

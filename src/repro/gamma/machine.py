@@ -26,14 +26,23 @@ from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..storage.pages import DiskLayout
 from .catalog import SystemCatalog
 from .cpu import Cpu
-from .metrics import RunMetrics, RunResult
+from .metrics import NodeUsageView, RunMetrics, RunResult
 from .network import Network
 from .node import OperatorNode
 from .params import GAMMA_PARAMETERS, SimulationParameters
 from .scheduler import QueryScheduler
 from .terminal import QuerySource, TerminalPool
 
-__all__ = ["GammaMachine"]
+__all__ = ["GammaMachine", "PER_NODE_TELEMETRY_LIMIT"]
+
+#: Above this many operator nodes, telemetry switches from per-node
+#: probes/gauges/usage entries to machine-wide aggregates: at P=1024 a
+#: per-node scheme costs ~4 probe closures and ~4 dict entries per node
+#: per sampler tick (and thousands of registry series), which makes
+#: timelines unusable long before the simulation itself slows down.
+#: Aggregates (mean utilization, imbalance spread, totals) ride the
+#: array-backed :class:`~repro.gamma.metrics.NodeUsageView` instead.
+PER_NODE_TELEMETRY_LIMIT = 64
 
 
 class GammaMachine:
@@ -111,6 +120,7 @@ class GammaMachine:
         self.catalog.register(placement, indexes, self._layouts)
 
         self.metrics = RunMetrics(self.env)
+        self.usage_view = NodeUsageView(self.nodes)
         self._seed = seed
         if self.telemetry.sampler is not None:
             self._register_probes(self.telemetry.sampler)
@@ -184,14 +194,26 @@ class GammaMachine:
     def resource_usage(self) -> Dict[str, float]:
         """Cumulative busy-seconds (and counts) per machine resource.
 
-        One source of truth for "where did time go": the end-of-run
-        summary totals it over the window, and the telemetry sampler
-        differences it on a clock to produce utilization timelines.
+        One source of truth for "where did time go".  Up to
+        :data:`PER_NODE_TELEMETRY_LIMIT` nodes this carries one entry
+        per node counter; above it, per-node keys would dominate every
+        snapshot (4,096+ entries at P=1024), so the dict degrades to
+        machine-wide totals backed by :class:`NodeUsageView`.
         """
         usage = {
             "sched.cpu.busy_seconds": self.scheduler_cpu.busy_seconds,
             "net.bytes": float(self.network.bytes_sent),
         }
+        if len(self.nodes) > PER_NODE_TELEMETRY_LIMIT:
+            view = self.usage_view
+            usage["nodes.cpu.busy_seconds.total"] = float(
+                view.cpu_busy().sum())
+            usage["nodes.disk.busy_seconds.total"] = float(
+                view.disk_busy().sum())
+            usage["nodes.buffer.hits.total"] = view.buffer_hits_total()
+            usage["nodes.buffer.accesses.total"] = (
+                view.buffer_accesses_total())
+            return usage
         for node in self.nodes:
             prefix = f"node.{node.node_id}"
             usage[f"{prefix}.cpu.busy_seconds"] = node.cpu.busy_seconds
@@ -213,26 +235,49 @@ class GammaMachine:
         registry = self.telemetry.registry
         busy = [node.cpu.busy_seconds for node in self.nodes]
         total = sum(busy)
-        for node, seconds in zip(self.nodes, busy):
-            registry.gauge(f"node.{node.node_id}.cpu.busy_share").set(
-                seconds / total if total else 0.0)
+        if len(self.nodes) <= PER_NODE_TELEMETRY_LIMIT:
+            for node, seconds in zip(self.nodes, busy):
+                registry.gauge(f"node.{node.node_id}.cpu.busy_share").set(
+                    seconds / total if total else 0.0)
         mean = total / len(busy) if busy else 0.0
         registry.gauge("nodes.cpu.busy_share.max_over_mean").set(
             max(busy) / mean if mean else 0.0)
 
     def _register_probes(self, sampler) -> None:
-        """Wire per-resource utilization timelines onto the sampler."""
+        """Wire per-resource utilization timelines onto the sampler.
+
+        Machine-wide probes are always registered; per-node probes only
+        up to :data:`PER_NODE_TELEMETRY_LIMIT` nodes.  Beyond that the
+        per-node timelines are replaced by machine-wide aggregates
+        (mean CPU/disk utilization, total disk queue, overall buffer
+        hit rate) so a P=1024 run samples a handful of array-backed
+        probes per tick instead of ~4,000 closures.
+        """
+        view = self.usage_view
         sampler.add_rate_probe(
             "sched.cpu.utilization",
             lambda: self.scheduler_cpu.busy_seconds)
-        sampler.add_spread_probe(
-            "nodes.cpu.imbalance",
-            [(lambda cpu=node.cpu: cpu.busy_seconds) for node in self.nodes])
+        sampler.add_array_spread_probe("nodes.cpu.imbalance", view.cpu_busy)
         sampler.add_rate_probe(
             "net.link.bytes_per_second",
             lambda: float(self.network.bytes_sent))
         sampler.add_level_probe(
             "sched.queries.in_flight", lambda: self.scheduler.in_flight)
+        if len(self.nodes) > PER_NODE_TELEMETRY_LIMIT:
+            num_nodes = len(self.nodes)
+            sampler.add_rate_probe(
+                "nodes.cpu.utilization.mean",
+                lambda: float(view.cpu_busy().sum()) / num_nodes)
+            sampler.add_rate_probe(
+                "nodes.disk.utilization.mean",
+                lambda: float(view.disk_busy().sum()) / num_nodes)
+            sampler.add_level_probe(
+                "nodes.disk.queue.total",
+                lambda: float(view.disk_queue().sum()))
+            sampler.add_ratio_probe(
+                "nodes.buffer.hit_rate",
+                view.buffer_hits_total, view.buffer_accesses_total)
+            return
         for node in self.nodes:
             prefix = f"node.{node.node_id}"
             cpu, disk = node.cpu, node.disk
@@ -254,11 +299,12 @@ class GammaMachine:
     def _summarize(self, multiprogramming_level: int) -> RunResult:
         now = self.env.now
         elapsed = now - self.metrics.window_start
-        usage = self.resource_usage()
+        # Summed per node in machine order with Python-float addition:
+        # the usage dict no longer carries per-node keys on big
+        # machines, and a NumPy pairwise sum would round differently.
         cpu_util = sum(n.cpu_utilization(now) for n in self.nodes) \
             / len(self.nodes)
-        disk_util = sum(usage[f"node.{n.node_id}.disk.busy_seconds"]
-                        for n in self.nodes) \
+        disk_util = sum(n.disk.busy_seconds for n in self.nodes) \
             / (len(self.nodes) * elapsed) if elapsed > 0 else 0.0
         return RunResult(
             multiprogramming_level=multiprogramming_level,

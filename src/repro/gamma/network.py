@@ -213,6 +213,84 @@ class Network:
             invariants.on_message_delivered(dst)
         receiver.mailbox.put(message)
 
+    def multicast(self, src: int, pairs, num_bytes: int, span=None):
+        """Process generator: ship one message to each destination in turn.
+
+        ``pairs`` is a sequence of ``(dst, message)``.  Semantically this
+        is exactly ``for dst, m in pairs: yield from deliver(src, dst,
+        num_bytes, m)`` -- the same endpoint holds in the same order, the
+        same simulated timings, one event sequence -- but the scheduler's
+        P-site broadcasts run it as a single batched generator: the
+        per-message setup (endpoint lookups, counter/invariant checks,
+        the occupancy division) is hoisted out of the per-destination
+        loop, which at P=1024 sites removes a few thousand attribute
+        walks per query without perturbing the model.
+        """
+        endpoints = self._endpoints
+        sender = endpoints[src]
+        sender_cpu = sender.cpu
+        sender_nic = sender.nic
+        env = self.env
+        counter = self._msg_counter
+        invariants = self.invariants
+        occupancy = num_bytes / self._bandwidth
+        handling = self._handling_service
+        latency = self._latency_seconds
+        for dst, message in pairs:
+            receiver = endpoints[dst]
+            self.messages_sent += 1
+            self.bytes_sent += num_bytes
+            if counter is not None:
+                counter.inc()
+                self._byte_counter.inc(num_bytes)
+            if invariants is not None:
+                invariants.on_message_sent(src, dst)
+
+            if span is None:
+                req = sender_cpu._request(1)  # NORMAL_PRIORITY
+                yield req
+                yield handling
+                sender_cpu.busy_seconds += handling
+                sender_cpu._release(req)
+            else:
+                yield from sender_cpu.execute(
+                    self.params.message_handling_instructions, span=span)
+
+            if src != dst:
+                queued_at = env.now
+                req = sender_nic.request()
+                yield req
+                wait = env.now - queued_at
+                yield occupancy
+                sender_nic.release(req)
+                if span is not None:
+                    span.trace.resource(span, sender.obs_label, wait,
+                                        occupancy)
+                yield latency
+                nic = receiver.nic
+                queued_at = env.now
+                req = nic.request()
+                yield req
+                wait = env.now - queued_at
+                yield occupancy
+                nic.release(req)
+                if span is None:
+                    cpu = receiver.cpu
+                    req = cpu._request(1)  # NORMAL_PRIORITY
+                    yield req
+                    yield handling
+                    cpu.busy_seconds += handling
+                    cpu._release(req)
+                else:
+                    span.trace.resource(span, receiver.obs_label, wait,
+                                        occupancy)
+                    yield from receiver.cpu.execute(
+                        self.params.message_handling_instructions, span=span)
+
+            if invariants is not None:
+                invariants.on_message_delivered(dst)
+            receiver.mailbox.put(message)
+
     def reset_stats(self) -> None:
         self.messages_sent = 0
         self.bytes_sent = 0

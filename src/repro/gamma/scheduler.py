@@ -153,6 +153,7 @@ class QueryScheduler:
         domain = max(placement.relation.cardinality, 1)
         dispatch_span = trace.start("dispatch",
                                     sites=len(targets)) if trace else None
+        batch = []
         for site, attribute in targets:
             if attribute is None:
                 message = InsertRequest(
@@ -163,9 +164,10 @@ class QueryScheduler:
                     query_id=handle.query_id, site=site, relation=relation,
                     attribute=attribute, reply_to=self.node_id,
                     position=min(values[attribute] / domain, 0.999999))
-            yield from self.network.deliver(
-                self.node_id, site, self.params.control_message_bytes,
-                message, span=dispatch_span)
+            batch.append((site, message))
+        yield from self.network.multicast(
+            self.node_id, batch, self.params.control_message_bytes,
+            span=dispatch_span)
         if trace:
             trace.finish(dispatch_span)
 
@@ -199,16 +201,16 @@ class QueryScheduler:
                 "probe", sites=len(decision.probe_sites)) if trace else None
             handle.pending_probes = len(decision.probe_sites)
             handle.probes_complete = Event(self.env)
-            for site, matches in zip(decision.probe_sites,
-                                     decision.probe_matches):
-                yield from self.network.deliver(
-                    self.node_id, site, self.params.control_message_bytes,
-                    ProbeRequest(query_id=handle.query_id, site=site,
-                                 relation=relation,
-                                 attribute=predicate.attribute,
-                                 matches=matches, reply_to=self.node_id,
-                                 position=position),
-                    span=probe_span)
+            yield from self.network.multicast(
+                self.node_id,
+                [(site, ProbeRequest(query_id=handle.query_id, site=site,
+                                     relation=relation,
+                                     attribute=predicate.attribute,
+                                     matches=matches, reply_to=self.node_id,
+                                     position=position))
+                 for site, matches in zip(decision.probe_sites,
+                                          decision.probe_matches)],
+                self.params.control_message_bytes, span=probe_span)
             yield handle.probes_complete
             if trace:
                 trace.finish(probe_span)
@@ -222,17 +224,17 @@ class QueryScheduler:
             handle.pending_done = len(targets)
             dispatch_span = trace.start(
                 "dispatch", sites=len(targets)) if trace else None
-            for site in targets:
-                yield from self.network.deliver(
-                    self.node_id, site, self.params.control_message_bytes,
-                    SelectRequest(query_id=handle.query_id, site=site,
-                                  relation=relation,
-                                  attribute=predicate.attribute,
-                                  clustered_index=clustered,
-                                  matches=int(counts[site]),
-                                  reply_to=self.node_id,
-                                  position=position),
-                    span=dispatch_span)
+            yield from self.network.multicast(
+                self.node_id,
+                [(site, SelectRequest(query_id=handle.query_id, site=site,
+                                      relation=relation,
+                                      attribute=predicate.attribute,
+                                      clustered_index=clustered,
+                                      matches=int(counts[site]),
+                                      reply_to=self.node_id,
+                                      position=position))
+                 for site in targets],
+                self.params.control_message_bytes, span=dispatch_span)
             if trace:
                 trace.finish(dispatch_span)
             # Completion is triggered by the dispatch loop when the last

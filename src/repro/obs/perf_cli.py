@@ -26,7 +26,30 @@ from .ledger import (
     trend_table,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "regression_direction", "regressions"]
+
+
+def regression_direction(metric: str) -> int:
+    """Which way a metric regresses: +1 if bigger is worse, -1 if smaller.
+
+    Wall-clock metrics (any ``seconds`` name component, e.g.
+    ``smoke_wall_seconds`` or ``scaleup_placement_build_seconds_p1024``)
+    regress when they grow; rates, speedups and throughputs regress when
+    they shrink.
+    """
+    return 1 if "seconds" in metric.split("_") else -1
+
+
+def regressions(diffs, threshold_pct: float = 10.0):
+    """Metrics whose latest entry moved >threshold in the bad direction."""
+    out = []
+    for name, diff in diffs.items():
+        pct = diff.get("pct")
+        if pct is None:
+            continue
+        if pct * regression_direction(name) > threshold_pct:
+            out.append(name)
+    return sorted(out)
 
 
 def _metric_pair(text: str):
@@ -90,12 +113,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     # Exit 0 even on an empty ledger: rendering history is a read-only
     # report, not a gate.  Regression *gating* stays in the benchmarks.
-    diffs = latest_diffs(rows)
-    regressed = [name for name, diff in diffs.items()
-                 if diff["pct"] is not None and diff["pct"] < -10.0]
+    # Direction-aware: *_seconds metrics regress upward (slower build or
+    # run), everything else (rates, speedups, throughputs) downward.
+    regressed = regressions(latest_diffs(rows))
     if regressed:
-        print(f"(note: >10% drop vs previous entry in: "
-              f"{', '.join(sorted(regressed))})", file=sys.stderr)
+        print(f"(note: >10% regression vs previous entry in: "
+              f"{', '.join(regressed)})", file=sys.stderr)
     return 0
 
 

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Callable, List, Tuple
 
+import numpy as np
+
 from ..des.environment import Environment
 from .registry import MetricsRegistry, Timeline
 
@@ -101,6 +103,30 @@ class TimelineSampler:
                      for now, prev in zip(now_values, state["prev"])]
             state["prev"] = now_values
             return (max(rates) - min(rates)) if rates else 0.0
+
+        self._probes.append((timeline, sample))
+
+    def add_array_spread_probe(self, name: str,
+                               cumulative_array: Callable[[], "np.ndarray"]
+                               ) -> None:
+        """Per-interval spread (max - min) over an array of cumulatives.
+
+        Same timeline as :meth:`add_spread_probe`, but the N counters
+        arrive as one NumPy array from a single callable -- at P=1024
+        nodes one probe call replaces 1,024 per-node closures per tick,
+        which is what keeps the imbalance timeline affordable on large
+        machines (see ``gamma.metrics.NodeUsageView``).
+        """
+        timeline = self.registry.timeline(name)
+        state = {"prev": np.asarray(cumulative_array(), dtype=np.float64)}
+
+        def sample(dt: float) -> float:
+            now_values = np.asarray(cumulative_array(), dtype=np.float64)
+            rates = (now_values - state["prev"]) / dt
+            state["prev"] = now_values
+            if rates.size == 0:
+                return 0.0
+            return float(rates.max() - rates.min())
 
         self._probes.append((timeline, sample))
 

@@ -1,0 +1,100 @@
+"""Large-machine properties of the entry assignment (P = 256, 1024).
+
+The block-cyclic tiling is exactly analyzable when every per-dimension
+modulus divides its dimension ("uniform grids"): the (block, block)
+combinations form a bijection onto the machine, so every site is used,
+per-site entry counts are within one entry of even, and each slice of
+dimension *d* touches exactly ``t_d`` distinct sites.  On non-divisible
+shapes the surplus-block alternation relaxes these to a factor of two.
+These tests pin the properties at the scale the ISSUE targets -- the
+32-site cases are covered by tests/core/test_assignment.py.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    assign_entries,
+    factor_slice_targets,
+    pattern_moduli,
+)
+
+SCALE_SITES = (256, 1024)
+MIXES = ((4.0, 8.0), (9.0, 9.0), (1.0, 9.0), (9.0, 1.0))
+
+
+def _distinct_per_slice(assignment, dim):
+    moved = np.moveaxis(assignment, dim, 0)
+    flat = moved.reshape(moved.shape[0], -1)
+    return [len(np.unique(row)) for row in flat]
+
+
+def _uniform_shape(mi, num_sites):
+    """A grid whose dimensions are multiples of the pattern moduli."""
+    targets = factor_slice_targets(mi, num_sites)
+    moduli = pattern_moduli(targets, num_sites)
+    return tuple(u * k for u, k in zip(moduli, (3, 2)))
+
+
+@pytest.mark.parametrize("num_sites", SCALE_SITES)
+@pytest.mark.parametrize("mi", MIXES)
+class TestUniformGrids:
+    def test_every_site_used(self, mi, num_sites):
+        assignment = assign_entries(_uniform_shape(mi, num_sites),
+                                    mi, num_sites)
+        counts = np.bincount(assignment.ravel(), minlength=num_sites)
+        assert int((counts > 0).sum()) == num_sites
+
+    def test_entry_counts_within_one_of_even(self, mi, num_sites):
+        shape = _uniform_shape(mi, num_sites)
+        assignment = assign_entries(shape, mi, num_sites)
+        counts = np.bincount(assignment.ravel(), minlength=num_sites)
+        even = assignment.size / num_sites
+        assert counts.min() >= np.floor(even) - 1
+        assert counts.max() <= np.ceil(even) + 1
+        # On a divisible grid the tiling is in fact *exactly* even.
+        assert counts.max() - counts.min() <= 1
+
+    def test_slice_diversity_hits_targets(self, mi, num_sites):
+        targets = factor_slice_targets(mi, num_sites)
+        assignment = assign_entries(_uniform_shape(mi, num_sites),
+                                    mi, num_sites)
+        for dim, target in enumerate(targets):
+            distinct = _distinct_per_slice(assignment, dim)
+            assert min(distinct) == max(distinct) == target
+
+
+@pytest.mark.parametrize("num_sites", SCALE_SITES)
+@pytest.mark.parametrize("mi,shape", [
+    ((4.0, 8.0), (190, 35)),
+    ((9.0, 9.0), (150, 131)),
+    ((1.0, 9.0), (400, 17)),
+])
+class TestNonDivisibleGrids:
+    """Realistic (non-divisible) shapes: bounds relax to a factor of 2."""
+
+    def _effective_targets(self, mi, shape, num_sites):
+        # assign_entries clamps each modulus to its dimension; a slice of
+        # dimension d then sees the product of the *other* (clamped)
+        # moduli distinct sites.
+        targets = factor_slice_targets(mi, num_sites)
+        moduli = pattern_moduli(targets, num_sites)
+        clamped = [max(1, min(int(u), int(n)))
+                   for u, n in zip(moduli, shape)]
+        k = len(clamped)
+        return [int(np.prod([clamped[e] for e in range(k) if e != d]))
+                for d in range(k)]
+
+    def test_every_site_used(self, mi, shape, num_sites):
+        assignment = assign_entries(shape, mi, num_sites)
+        counts = np.bincount(assignment.ravel(), minlength=num_sites)
+        assert int((counts > 0).sum()) == num_sites
+
+    def test_slice_diversity_within_2x_of_targets(self, mi, shape,
+                                                  num_sites):
+        assignment = assign_entries(shape, mi, num_sites)
+        effective = self._effective_targets(mi, shape, num_sites)
+        for dim, target in enumerate(effective):
+            distinct = _distinct_per_slice(assignment, dim)
+            assert min(distinct) * 2 >= target
+            assert max(distinct) <= 2 * target

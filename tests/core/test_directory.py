@@ -121,3 +121,81 @@ class TestStatistics:
 
     def test_describe_mentions_shape(self):
         assert "3x4" in small_directory().describe()
+
+
+def random_directory(seed, num_sites=8, ndim=2):
+    rng = np.random.default_rng(seed)
+    shape = tuple(rng.integers(2, 9, ndim))
+    counts = rng.integers(0, 20, shape)
+    assignment = rng.integers(0, num_sites, shape)
+    names = ["a", "b", "c"][:ndim]
+    boundaries = [np.arange(1, n) * 10 for n in shape]
+    return GridDirectory(names, boundaries, counts, assignment)
+
+
+def naive_distinct(assignment, dim):
+    moved = np.moveaxis(assignment, dim, 0)
+    return [len(np.unique(moved[i])) for i in range(moved.shape[0])]
+
+
+class TestDistinctSitesVectorized:
+    """The sort-based distinct count must match the np.unique loop."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_unique_loop_2d(self, seed):
+        d = random_directory(seed)
+        for dim, attr in enumerate(d.attributes):
+            assert (d.distinct_sites_per_slice(attr)
+                    == naive_distinct(d.assignment, dim))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_unique_loop_3d(self, seed):
+        d = random_directory(seed, ndim=3)
+        for dim, attr in enumerate(d.attributes):
+            assert (d.distinct_sites_per_slice(attr)
+                    == naive_distinct(d.assignment, dim))
+
+    def test_degenerate_single_slice(self):
+        d = GridDirectory(["a", "b"], [np.array([]), np.array([])],
+                          np.array([[3]]), np.array([[2]]))
+        assert d.distinct_sites_per_slice("a") == [1]
+        assert d.distinct_sites_per_slice("b") == [1]
+
+
+class TestSliceOwnerTracker:
+    def test_initial_counts_match_directory(self):
+        d = small_directory()
+        for attr, dim in (("a", 0), ("b", 1)):
+            tracker = d.owner_tracker(attr, 4)
+            assert (tracker.distinct_counts().tolist()
+                    == d.distinct_sites_per_slice(attr))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_distinct_with_matches_naive(self, seed):
+        d = random_directory(seed)
+        tracker = d.owner_tracker("a", 8)
+        moved = d.assignment
+        n = moved.shape[0]
+        for site in range(8):
+            got = tracker.distinct_with(np.arange(n), site)
+            want = [len(np.unique(np.append(moved[i].ravel(), site)))
+                    for i in range(n)]
+            assert got.tolist() == want
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_moves_match_rebuild(self, seed):
+        rng = np.random.default_rng(seed + 100)
+        d = random_directory(seed)
+        tracker = d.owner_tracker("b", 8)
+        assignment = d.assignment
+        for _ in range(25):
+            i = rng.integers(0, assignment.shape[0])
+            j = rng.integers(0, assignment.shape[1])
+            new_site = int(rng.integers(0, 8))
+            old_site = int(assignment[i, j])
+            assignment[i, j] = new_site
+            tracker.move(j, old_site, new_site)
+        fresh = d.owner_tracker("b", 8)
+        assert np.array_equal(tracker.counts, fresh.counts)
+        assert np.array_equal(tracker.distinct_counts(),
+                              fresh.distinct_counts())

@@ -14,6 +14,7 @@ SMALL = dict(cardinality=10_000, measured_queries=50,
 #: One representative value per built-in axis, for apply() coverage.
 AXIS_SAMPLES = {
     "processors": 4,
+    "num_sites": 8,
     "qb_selectivity": 12,
     "correlation": 0.5,
     "buffer_pool": 64,

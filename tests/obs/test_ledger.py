@@ -12,7 +12,11 @@ from repro.obs.ledger import (
     read_ledger,
     trend_table,
 )
-from repro.obs.perf_cli import main as perf_main
+from repro.obs.perf_cli import (
+    main as perf_main,
+    regression_direction,
+    regressions,
+)
 
 
 @pytest.fixture
@@ -140,3 +144,40 @@ class TestPerfCli:
     def test_bad_append_spec_rejected(self, ledger, capsys):
         with pytest.raises(SystemExit):
             perf_main(["--ledger", ledger, "--append", "not-a-pair"])
+
+
+class TestRegressionDirection:
+    def test_seconds_metrics_regress_upward(self):
+        assert regression_direction(
+            "scaleup_placement_build_seconds_p1024") == 1
+        assert regression_direction("smoke_wall_seconds") == 1
+
+    def test_rate_metrics_regress_downward(self):
+        assert regression_direction("scaleup_events_per_sec_p1024") == -1
+        assert regression_direction("des_kernel_speedup") == -1
+
+    def test_slower_build_flagged(self, ledger):
+        append_metrics({"build_seconds": 10.0}, "bench", path=ledger)
+        append_metrics({"build_seconds": 12.0}, "bench", path=ledger)
+        rows, _ = read_ledger(ledger)
+        assert regressions(latest_diffs(rows)) == ["build_seconds"]
+
+    def test_faster_build_not_flagged(self, ledger):
+        append_metrics({"build_seconds": 12.0}, "bench", path=ledger)
+        append_metrics({"build_seconds": 6.0}, "bench", path=ledger)
+        rows, _ = read_ledger(ledger)
+        assert regressions(latest_diffs(rows)) == []
+
+    def test_throughput_drop_flagged_rise_not(self, ledger):
+        append_metrics({"eps": 100.0, "speedup": 1.0}, "bench", path=ledger)
+        append_metrics({"eps": 80.0, "speedup": 2.0}, "bench", path=ledger)
+        rows, _ = read_ledger(ledger)
+        assert regressions(latest_diffs(rows)) == ["eps"]
+
+    def test_cli_note_is_direction_aware(self, ledger, capsys):
+        perf_main(["--ledger", ledger, "--append", "wall_seconds=10"])
+        capsys.readouterr()
+        perf_main(["--ledger", ledger, "--append", "wall_seconds=20"])
+        err = capsys.readouterr().err
+        assert "regression" in err
+        assert "wall_seconds" in err
