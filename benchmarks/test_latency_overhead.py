@@ -1,0 +1,107 @@
+"""Latency-capture overhead: fig-8a regeneration with sketches off vs. on.
+
+Writes ``BENCH_latency_overhead.json`` next to the repo root and appends
+tail-latency rows to the perf ledger.  Latency capture records one
+sketch update per completed query -- no spans, no timeline sampler -- so
+its ceiling is far below the full-tracing budget (~1.7x): the default
+acceptance bar here is 1.3x, overridable via ``LATENCY_BENCH_MAX_RATIO``
+for noisy CI hosts.
+
+The captured p99s are themselves recorded into the ledger
+(``latency_p99_ms_<strategy>_<qtype>``): the simulation is
+deterministic, so a placement or scheduler change that shifts the tail
+shows up as a ledger regression, not just a throughput delta.
+
+Run directly (``python benchmarks/test_latency_overhead.py``) or via
+pytest (``pytest benchmarks/test_latency_overhead.py``).
+"""
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from ledger import record as ledger_record  # noqa: E402
+
+from repro.experiments import FIGURES, run_experiment
+from repro.obs import TelemetrySpec
+
+MPLS = (1, 16, 64)
+# Overridable so the CI smoke jobs can run a tiny configuration.
+MEASURED = int(os.environ.get("LATENCY_BENCH_MEASURED", "250"))
+CARDINALITY = int(os.environ.get("LATENCY_BENCH_CARDINALITY", "100000"))
+MAX_RATIO = float(os.environ.get("LATENCY_BENCH_MAX_RATIO", "1.3"))
+PROCESSORS = 32
+OUTPUT = os.path.join(os.path.dirname(__file__), os.pardir,
+                      "BENCH_latency_overhead.json")
+
+
+def _time_run(telemetry_spec=None):
+    started = time.perf_counter()
+    result = run_experiment(FIGURES["8a"], cardinality=CARDINALITY,
+                            num_sites=PROCESSORS, measured_queries=MEASURED,
+                            mpls=MPLS, seed=13,
+                            telemetry_spec=telemetry_spec)
+    wall = time.perf_counter() - started
+    return wall, result
+
+
+def measure():
+    # Warm the relation/placement memos so neither timed run pays
+    # build costs -- otherwise the off run is inflated and the ratio
+    # reads below 1.0.
+    _time_run()
+    off_wall, off_result = _time_run()
+    # Latency-only capture: sketches, no spans, no utilization sampler.
+    on_wall, on_result = _time_run(
+        TelemetrySpec(trace=False, timeline_interval=0.0, latency=True))
+    assert on_result.latency is not None
+
+    tails = {}
+    for strategy, entries in sorted(on_result.latency["points"].items()):
+        highest = entries[-1]
+        for qtype, summary in sorted(highest["by_type"].items()):
+            tails[f"latency_p99_ms_{strategy}_{qtype}"] = round(
+                summary["p99"] * 1000, 3)
+
+    return {
+        "benchmark": "fig-8a regeneration (3 MPL points x 3 strategies), "
+                     "latency sketches off vs on",
+        "mpls": list(MPLS),
+        "measured_queries": MEASURED,
+        "capture_off_wall_seconds": round(off_wall, 3),
+        "capture_on_wall_seconds": round(on_wall, 3),
+        "overhead_ratio": round(on_wall / off_wall, 3),
+        "max_ratio": MAX_RATIO,
+        "tail_latencies": tails,
+        "throughput_unchanged": {
+            strategy: [off_result.throughput_at(strategy, mpl)
+                       == on_result.throughput_at(strategy, mpl)
+                       for mpl in MPLS]
+            for strategy in off_result.series
+        },
+    }
+
+
+def test_latency_overhead_and_artifact():
+    payload = measure()
+    with open(OUTPUT, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    ledger_record(dict(
+        {"latency_capture_overhead_ratio": payload["overhead_ratio"]},
+        **payload["tail_latencies"],
+    ), benchmark="latency_overhead")
+    # Capture must not change the simulation itself: identical seeds
+    # produce identical throughput series with sketches off and on.
+    for flags in payload["throughput_unchanged"].values():
+        assert all(flags)
+    # One dict update per completed query should be near-free -- and
+    # must stay below the full-tracing budget in any case.
+    assert payload["overhead_ratio"] < MAX_RATIO, payload["overhead_ratio"]
+
+
+if __name__ == "__main__":
+    print(json.dumps(measure(), indent=2, sort_keys=True))

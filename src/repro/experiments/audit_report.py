@@ -22,8 +22,14 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..obs import why_table
+from ..obs import span_records, why_table
 from ..obs.audit import PlacementAudit, audit_digest, audit_placement
+from ..obs.critpath import (
+    critical_paths,
+    critpath_table,
+    summarize_critical_paths,
+)
+from ..obs.sketch import QUANTILES
 from ..workload import make_mix
 from .config import ExperimentConfig
 from .plan import compile_point, placement_for_spec
@@ -68,6 +74,13 @@ class AuditReport:
         default_factory=dict)
     #: strategy -> rendered why-table (traced runs only).
     why_tables: Dict[str, str] = field(default_factory=dict)
+    #: strategy -> rendered critical-path table (traced runs only):
+    #: where the wall response time actually went, shares summing to
+    #: <= 100% -- the non-overlapping complement of the why-table.
+    critpath_tables: Dict[str, str] = field(default_factory=dict)
+    #: The figure's results-v2 ``latency`` payload (latency capture
+    #: only); rendered as the latency-budget section.
+    latency: Optional[Dict] = None
     #: strategy -> runtime load-balance metrics (traced runs only).
     load_balance: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
@@ -161,6 +174,11 @@ def _fuse_telemetry(report: AuditReport, result: FigureResult) -> None:
         report.load_balance[strategy] = balance
         if telemetry.tracing and telemetry.spans is not None:
             report.why_tables[strategy] = why_table(telemetry.spans).rstrip()
+            summaries = summarize_critical_paths(
+                critical_paths(span_records(telemetry.spans)))
+            if summaries:
+                report.critpath_tables[strategy] = \
+                    critpath_table(summaries).rstrip()
 
 
 def build_audit_report(result: FigureResult, samples: int = 400,
@@ -178,6 +196,7 @@ def build_audit_report(result: FigureResult, samples: int = 400,
     for strategy, runs in result.series.items():
         report.throughputs[strategy] = [
             (run.multiprogramming_level, run.throughput) for run in runs]
+    report.latency = result.latency
     _fuse_telemetry(report, result)
     return report
 
@@ -243,6 +262,26 @@ def _fanout_rows(report: AuditReport) -> List[List[str]]:
                 fanout = report.audits[strategy].fanouts.get(qtype)
                 row.append(getter(fanout) if fanout else "-")
             rows.append(row)
+    return rows
+
+
+_LATENCY_HEADER = ["strategy", "MPL", "queries", "mean ms"] \
+    + [f"p{int(q * 100)} ms" for q in QUANTILES] + ["max ms"]
+
+
+def _latency_rows(report: AuditReport) -> List[List[str]]:
+    """Latency-budget rows: each strategy at its highest captured MPL."""
+    rows = []
+    for strategy, entries in sorted(
+            (report.latency or {}).get("points", {}).items()):
+        last = entries[-1]
+        summary = last["overall"]
+        rows.append(
+            [strategy, str(last["mpl"]), str(int(summary["count"])),
+             _fmt(summary["mean"] * 1000, 1)]
+            + [_fmt(summary[f"p{int(q * 100)}"] * 1000, 1)
+               for q in QUANTILES]
+            + [_fmt(summary["max"] * 1000, 1)])
     return rows
 
 
@@ -391,8 +430,31 @@ def render_markdown(report: AuditReport) -> str:
                             "selects CV", "selects total"], rows)
         lines.append("")
 
+    if report.latency:
+        lines.append("## Query latency budget (measured)")
+        lines.append("")
+        lines.append(f"Response-time distribution at each strategy's "
+                     f"highest captured MPL, from mergeable quantile "
+                     f"sketches (relative accuracy "
+                     f"{report.latency['relative_accuracy']:.0%}).")
+        lines.append("")
+        lines += _md_table(_LATENCY_HEADER, _latency_rows(report))
+        lines.append("")
+
     for strategy, table in sorted(report.why_tables.items()):
         lines.append(f"## Why-table: {strategy}")
+        lines.append("")
+        lines.append("```")
+        lines.append(table)
+        lines.append("```")
+        lines.append("")
+
+    for strategy, table in sorted(report.critpath_tables.items()):
+        lines.append(f"## Critical path: {strategy}")
+        lines.append("")
+        lines.append("Unlike the why-table's overlapping totals, these "
+                     "shares partition the wall response time, so they "
+                     "sum to at most 100%.")
         lines.append("")
         lines.append("```")
         lines.append(table)
@@ -582,8 +644,23 @@ def render_html(report: AuditReport) -> str:
         parts += _html_table(["strategy", "MPL", "busy max/mean",
                               "selects CV", "selects total"], rows)
 
+    if report.latency:
+        parts.append("<h2>Query latency budget (measured)</h2>")
+        parts.append(f"<p>Response-time distribution at each strategy's "
+                     f"highest captured MPL, from mergeable quantile "
+                     f"sketches (relative accuracy "
+                     f"{report.latency['relative_accuracy']:.0%}).</p>")
+        parts += _html_table(_LATENCY_HEADER, _latency_rows(report))
+
     for strategy, table in sorted(report.why_tables.items()):
         parts.append(f"<h2>Why-table: {html.escape(strategy)}</h2>")
+        parts.append(f"<pre>{html.escape(table)}</pre>")
+
+    for strategy, table in sorted(report.critpath_tables.items()):
+        parts.append(f"<h2>Critical path: {html.escape(strategy)}</h2>")
+        parts.append("<p>Unlike the why-table's overlapping totals, "
+                     "these shares partition the wall response time, so "
+                     "they sum to at most 100%.</p>")
         parts.append(f"<pre>{html.escape(table)}</pre>")
 
     parts.append("</body></html>")

@@ -88,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", action="store_true",
                         help="collect telemetry (spans, metrics, "
                              "utilization timelines) during figure runs")
+    parser.add_argument("--latency", action="store_true",
+                        help="capture per-query-type response-time "
+                             "distributions (mergeable quantile "
+                             "sketches): p50/p95/p99/max per figure "
+                             "point in reports and saved JSON; series "
+                             "are bit-identical either way")
     parser.add_argument("--metrics-out", metavar="DIR",
                         help="write spans.jsonl / metrics.jsonl / "
                              "metrics.prom / summary.txt per run into DIR "
@@ -192,11 +198,17 @@ def _progress_from_args(args):
 
 
 def _telemetry_spec(args):
-    """The picklable telemetry recipe when --trace/--metrics-out is on."""
-    if not (args.trace or args.metrics_out):
+    """The picklable telemetry recipe when --trace/--metrics-out/
+    --latency is on.  --latency alone skips spans and timelines (the
+    sketches need neither), keeping capture overhead near zero."""
+    tracing = bool(args.trace or args.metrics_out)
+    latency = bool(getattr(args, "latency", False))
+    if not (tracing or latency):
         return None
     from ..obs import TelemetrySpec
-    return TelemetrySpec()
+    return TelemetrySpec(trace=tracing,
+                         timeline_interval=0.5 if tracing else 0.0,
+                         latency=latency)
 
 
 def _export_run_artifacts(out_dir: str, figure: str, telemetries) -> List[str]:
@@ -208,6 +220,9 @@ def _export_run_artifacts(out_dir: str, figure: str, telemetries) -> List[str]:
     os.makedirs(out_dir, exist_ok=True)
     notes = []
     for (strategy, mpl), telemetry in sorted(telemetries.items()):
+        if telemetry.spans is None:
+            # Latency-only capture: no spans/metrics to export.
+            continue
         stem = os.path.join(out_dir, f"{figure}_{strategy}_mpl{mpl}")
         spans = write_spans_jsonl(telemetry.spans, f"{stem}.spans.jsonl")
         write_metrics_jsonl(telemetry.registry, f"{stem}.metrics.jsonl")

@@ -1,0 +1,164 @@
+"""Command-line entry point: ``repro-latency``.
+
+The tail-latency view of a figure, three ways:
+
+* **offline** (positional args) -- read saved results-v2
+  ``figure_*.json`` files and print the latency-budget table from their
+  embedded sketches; no simulation.  Files saved without latency
+  capture (or v1 files) are reported as such and skipped.
+* **spans** (``--spans FILE...``) -- extract per-query critical paths
+  from ``*.spans.jsonl`` exports and print the per-query-type
+  attribution table (shares of wall response time, summing to <= 100%,
+  plus the serialization-vs-parallelism readout).
+* **live** (``--live FIG``) -- re-run one MPL point of a figure with
+  tracing + latency capture on and print both tables.
+
+Examples::
+
+    repro-latency runs/figure_8a.json
+    repro-latency --spans runs/8a_berd_mpl4.spans.jsonl
+    repro-latency --live 9 --mpl 16 --cardinality 10000 \\
+        --processors-count 8 --measured 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..obs.critpath import critical_paths, critpath_table, \
+    summarize_critical_paths
+from .config import FIGURES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-latency",
+        description="Tail-latency and critical-path reporting from saved "
+                    "results, span exports, or a live traced run.")
+    parser.add_argument("results", nargs="*", metavar="FIGURE_JSON",
+                        help="results-v2 figure file(s) saved with "
+                             "--latency: print their latency budgets")
+    parser.add_argument("--spans", nargs="+", metavar="JSONL", default=[],
+                        help="*.spans.jsonl export(s): print per-query-"
+                             "type critical-path attribution")
+    parser.add_argument("--mpls", metavar="M1,M2,...",
+                        help="restrict offline tables to these "
+                             "comma-separated MPL points")
+    parser.add_argument("--live", metavar="FIG", choices=sorted(FIGURES),
+                        help="re-run one MPL point of FIG with tracing + "
+                             "latency capture and print both tables")
+    parser.add_argument("--mpl", type=int, default=16,
+                        help="multiprogramming level for --live "
+                             "(default: 16)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for --live (default: 1)")
+    parser.add_argument("--measured", type=int, default=200,
+                        help="measured queries per point for --live")
+    parser.add_argument("--cardinality", type=int, default=100_000,
+                        help="relation cardinality for --live")
+    parser.add_argument("--processors-count", type=int, default=32,
+                        dest="num_sites",
+                        help="number of processors for --live")
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument("--out", metavar="FILE",
+                        help="also write the report to FILE")
+    return parser
+
+
+def _offline_blocks(paths: List[str], mpls) -> List[str]:
+    from .latency import latency_table
+    blocks: List[str] = []
+    for path in paths:
+        with open(path) as handle:
+            payload = json.load(handle)
+        figure = payload.get("figure", path)
+        latency = payload.get("latency")
+        if latency is None:
+            blocks.append(f"{path}: no latency payload (figure {figure} "
+                          f"was saved without --latency); re-run with "
+                          f"latency capture on")
+            continue
+        blocks.append(f"figure {figure} ({path}):")
+        blocks.append(latency_table(latency, mpls=mpls).rstrip())
+    return blocks
+
+
+def _spans_blocks(paths: List[str]) -> List[str]:
+    from ..obs.export import load_jsonl
+    blocks: List[str] = []
+    for path in paths:
+        records = load_jsonl(path)
+        summaries = summarize_critical_paths(critical_paths(records))
+        blocks.append(f"critical paths from {path} "
+                      f"({len(records)} spans):")
+        blocks.append(critpath_table(summaries).rstrip())
+    return blocks
+
+
+def _live_blocks(args) -> List[str]:
+    from ..obs import TelemetrySpec, span_records
+    from .executor import make_executor
+    from .latency import latency_payload, latency_table
+    from .plan import compile_figure
+
+    config = FIGURES[args.live]
+    plan = compile_figure(config, cardinality=args.cardinality,
+                          num_sites=args.num_sites,
+                          measured_queries=args.measured,
+                          mpls=(args.mpl,), seed=args.seed)
+    outcomes = make_executor(args.jobs).execute(
+        plan, telemetry_spec=TelemetrySpec(latency=True))
+
+    blocks = [f"figure {args.live} at MPL {args.mpl} (live traced run, "
+              f"{args.measured} measured queries per strategy):"]
+    telemetries = {}
+    for outcome in outcomes:
+        telemetries[(outcome.spec.strategy,
+                     outcome.spec.multiprogramming_level)] = \
+            outcome.telemetry
+    payload = latency_payload(telemetries)
+    if payload is not None:
+        blocks.append(latency_table(payload).rstrip())
+    for (strategy, _), telemetry in sorted(telemetries.items()):
+        if telemetry is None or telemetry.spans is None:
+            continue
+        summaries = summarize_critical_paths(
+            critical_paths(span_records(telemetry.spans)))
+        blocks.append(f"critical paths -- {strategy}:")
+        blocks.append(critpath_table(summaries).rstrip())
+    return blocks
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not (args.results or args.spans or args.live):
+        build_parser().print_help()
+        return 2
+    mpls = None
+    if args.mpls:
+        mpls = tuple(int(v) for v in args.mpls.split(","))
+
+    blocks: List[str] = []
+    if args.results:
+        blocks += _offline_blocks(args.results, mpls)
+    if args.spans:
+        blocks += _spans_blocks(args.spans)
+    if args.live:
+        blocks += _live_blocks(args)
+
+    report = "\n".join(blocks) + "\n"
+    print(report, end="")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"(wrote {args.out})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

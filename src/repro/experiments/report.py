@@ -57,6 +57,9 @@ def format_figure(result: FigureResult) -> str:
     lines.append(f"paper expectation [{verdict}]: {detail}")
     if config.expected and config.expected.note:
         lines.append(f"paper note: {config.expected.note}")
+    if result.latency is not None:
+        from .latency import latency_budget_lines
+        lines.extend(latency_budget_lines(result.latency))
     return "\n".join(lines)
 
 

@@ -67,6 +67,8 @@ def figure_to_dict(result: FigureResult) -> Dict:
         payload["audit"] = result.audit
     if result.phases is not None:
         payload["phases"] = result.phases
+    if result.latency is not None:
+        payload["latency"] = result.latency
     return payload
 
 
@@ -110,7 +112,11 @@ def figure_from_dict(payload: Dict) -> FigureResult:
         # Optional wall-clock phase attribution (absent in files saved
         # before the observability layer, or with phases off); kept
         # verbatim for repro-trace and offline reporting.
-        phases=payload.get("phases"))
+        phases=payload.get("phases"),
+        # Optional response-time distributions (absent in files saved
+        # before the latency observatory, or with capture off); the
+        # embedded sketches let repro-latency re-derive any quantile.
+        latency=payload.get("latency"))
     for name, runs in payload["series"].items():
         result.series[name] = [RunResult.from_json_dict(run)
                                for run in runs]

@@ -22,6 +22,7 @@ from ..obs import Telemetry, TelemetrySpec, phases
 from .cache import ResultCache
 from .config import ExperimentConfig
 from .executor import make_executor
+from .latency import latency_payload
 from .plan import PAPER_INDEXES, build_strategy, compile_figure
 
 __all__ = ["FigureResult", "TelemetryFactory", "build_strategy",
@@ -78,6 +79,11 @@ class FigureResult:
     #: seconds/counts, raw spans per pid, peak-RSS marks).  None when
     #: phase collection was off; round-trips through results-v2 JSON.
     phases: Optional[Dict] = None
+    #: Response-time distribution payload (see
+    #: :func:`~repro.experiments.latency.latency_payload`): per-point
+    #: p50/p95/p99/max plus the full mergeable sketches.  None unless
+    #: latency capture was on; round-trips through results-v2 JSON.
+    latency: Optional[Dict] = None
 
     def throughput_at(self, strategy: str, mpl: int) -> float:
         for result in self.series[strategy]:
@@ -174,6 +180,7 @@ def run_experiment(config: ExperimentConfig,
     result.wall_seconds = time.time() - started
     if accumulator is not None:
         result.phases = accumulator.snapshot()
+    result.latency = latency_payload(result.telemetries)
     return result
 
 

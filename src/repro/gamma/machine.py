@@ -119,7 +119,7 @@ class GammaMachine:
                          for _ in self.nodes]
         self.catalog.register(placement, indexes, self._layouts)
 
-        self.metrics = RunMetrics(self.env)
+        self.metrics = RunMetrics(self.env, latency=self.telemetry.latency)
         self.usage_view = NodeUsageView(self.nodes)
         self._seed = seed
         if self.telemetry.sampler is not None:

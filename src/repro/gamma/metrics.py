@@ -73,7 +73,7 @@ class NodeUsageView:
 class RunMetrics:
     """Online statistics during a simulation run."""
 
-    def __init__(self, env: Environment):
+    def __init__(self, env: Environment, latency=None):
         self.env = env
         self.completed_total = 0
         self.completed_window = 0
@@ -81,6 +81,9 @@ class RunMetrics:
         self.response_times: Dict[str, TallyMonitor] = {}
         self._watchers: List[Tuple[int, Event]] = []
         self._completion_times: List[float] = []
+        # Optional obs.sketch.LatencyRecorder: the same response times
+        # that feed the TallyMonitors, as quantile sketches.
+        self._latency = latency
 
     def record_completion(self, query_type: str, response_time: float) -> None:
         """Record one finished query."""
@@ -92,6 +95,8 @@ class RunMetrics:
             monitor = TallyMonitor(query_type)
             self.response_times[query_type] = monitor
         monitor.record(response_time)
+        if self._latency is not None:
+            self._latency.record(query_type, response_time)
         for count, event in list(self._watchers):
             if self.completed_total >= count and not event.triggered:
                 event.succeed(self.completed_total)

@@ -67,6 +67,15 @@ from .export import (
     write_spans_jsonl,
 )
 from . import phases
+from .critpath import (
+    CriticalPath,
+    CritPathSummary,
+    PathSegment,
+    chrome_events_from_critical_path,
+    critical_paths,
+    critpath_table,
+    summarize_critical_paths,
+)
 from .ledger import append_metrics, read_ledger, trend_table
 from .phases import PhaseAccumulator
 from .progress import (
@@ -86,7 +95,8 @@ from .registry import (
     Timeline,
 )
 from .sampler import TimelineSampler
-from .spans import SPAN_KIND, QueryTrace, Span, SpanLog
+from .sketch import QUANTILES, LatencyRecorder, LatencySketch
+from .spans import SPAN_KIND, QueryTrace, Span, SpanLog, UnknownQueryError
 from .summary import dominant_resource, resource_breakdown, why_table
 from .telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry, TelemetrySpec
 
@@ -107,6 +117,17 @@ __all__ = [
     "QueryTrace",
     "SpanLog",
     "SPAN_KIND",
+    "UnknownQueryError",
+    "LatencySketch",
+    "LatencyRecorder",
+    "QUANTILES",
+    "PathSegment",
+    "CriticalPath",
+    "CritPathSummary",
+    "critical_paths",
+    "summarize_critical_paths",
+    "critpath_table",
+    "chrome_events_from_critical_path",
     "TimelineSampler",
     "span_records",
     "metric_records",

@@ -1,0 +1,388 @@
+"""Critical-path extraction over finished query span trees.
+
+The why-table (:mod:`~repro.obs.summary`) answers "where did time go"
+by *summing* wait+service across every resource a query touched -- but
+a fan-out query uses 32 disks in parallel, so those totals double-count
+overlapping work and can exceed the response time many times over.
+This module answers the sharper question: **which chain of spans
+actually determined the response time?**
+
+For each finished trace we walk the span tree backwards from the root's
+end, always descending into the child whose interval ends latest --
+the longest causal chain terminal -> scheduler -> operator -> resource
+leaves.  The walk partitions the root interval into
+:class:`PathSegment`\\ s:
+
+* **leaf segments** land on resource spans and inherit the existing
+  queue-wait / service-time split (``wait`` before ``start + wait``,
+  ``service`` after);
+* **self segments** are the gaps no child covers -- scheduler think
+  time, message latency, result assembly -- attributed to the span the
+  gap belongs to.
+
+Because the segments partition ``[root.start, root.end]`` exactly, the
+per-resource attribution *sums to the wall response time* -- shares are
+<= 1.0 by construction, unlike the overlapping why-table totals.
+
+Each segment also carries the **phase** it sits under: the root's
+direct child on the path at that moment (``plan``, ``probe``,
+``dispatch``, ``select.site``...).  The phase split is the
+"serialization vs parallelism" readout: BERD's two-step penalty shows
+up directly as the ``probe`` share of the critical path, time during
+which the parallel fan-out has not even started.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "PathSegment",
+    "CriticalPath",
+    "CritPathSummary",
+    "critical_paths",
+    "summarize_critical_paths",
+    "critpath_table",
+    "chrome_events_from_critical_path",
+]
+
+#: Interval-arithmetic slack (simulated seconds).
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One slice of a query's critical path."""
+
+    #: Span name (resource label for leaf segments).
+    name: str
+    #: ``"wait"`` / ``"service"`` on resource leaves, ``"self"`` on gaps.
+    kind: str
+    #: The root's direct child this segment sits under (the root's own
+    #: gaps carry the root span name, ``"query"``).
+    phase: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CriticalPath:
+    """The critical path of one finished query."""
+
+    query_id: int
+    query_type: str
+    start: float
+    end: float
+    segments: List[PathSegment] = field(default_factory=list)
+    #: Sum of wait+service over *all* the trace's resource leaves (the
+    #: overlapping why-table view), for the parallelism readout.
+    total_work: float = 0.0
+
+    @property
+    def wall(self) -> float:
+        """The query's wall response time (root span length)."""
+        return self.end - self.start
+
+    def attribution(self) -> Dict[str, float]:
+        """Seconds on the path per component; sums to :attr:`wall`.
+
+        Keys are ``<resource>.wait`` / ``<resource>.service`` for leaf
+        segments and ``<span-name>.self`` for uncovered gaps.
+        """
+        out: Dict[str, float] = {}
+        for segment in self.segments:
+            key = f"{segment.name}.{segment.kind}"
+            out[key] = out.get(key, 0.0) + segment.duration
+        return out
+
+    def phases(self) -> Dict[str, float]:
+        """Seconds on the path per top-level phase; sums to :attr:`wall`."""
+        out: Dict[str, float] = {}
+        for segment in self.segments:
+            out[segment.phase] = out.get(segment.phase, 0.0) \
+                + segment.duration
+        return out
+
+    def critical_work(self) -> float:
+        """Seconds on the path spent on resource leaves (wait+service)."""
+        return sum(s.duration for s in self.segments if s.kind != "self")
+
+
+# -- extraction ------------------------------------------------------------
+
+
+def _complete_traces(records: Iterable[Dict]) -> Dict[int, Dict[int, Dict]]:
+    """Group records per trace, keeping only complete untruncated trees.
+
+    Traces force-closed at the end of the window (``truncated``) or
+    partially evicted from the bounded tracer (missing root / missing
+    parents) would yield misleading paths; they are skipped.
+    """
+    forest: Dict[int, Dict[int, Dict]] = {}
+    for record in records:
+        forest.setdefault(record["trace"], {})[record["span"]] = record
+    complete: Dict[int, Dict[int, Dict]] = {}
+    for trace_id, spans in forest.items():
+        roots = [s for s in spans.values() if s["parent"] is None]
+        if len(roots) != 1:
+            continue
+        if any(s.get("truncated") for s in spans.values()):
+            continue
+        if any(s["parent"] is not None and s["parent"] not in spans
+               for s in spans.values()):
+            continue
+        complete[trace_id] = spans
+    return complete
+
+
+def _emit_span_portion(record: Dict, lo: float, hi: float, phase: str,
+                       segments: List[PathSegment]) -> None:
+    """Segment(s) for the part of *record* in ``[lo, hi]`` no child covers."""
+    if hi - lo <= _EPS:
+        return
+    if "resource" in record:
+        # Appended latest-first (service, then wait), like the walk
+        # itself: the caller reverses the whole list once at the end.
+        boundary = record["start"] + record.get("wait", 0.0)
+        service_lo = max(lo, boundary)
+        if hi - service_lo > _EPS:
+            segments.append(PathSegment(record["name"], "service", phase,
+                                        service_lo, hi))
+        wait_hi = min(hi, boundary)
+        if wait_hi - lo > _EPS:
+            segments.append(PathSegment(record["name"], "wait", phase,
+                                        lo, wait_hi))
+    else:
+        segments.append(PathSegment(record["name"], "self", phase, lo, hi))
+
+
+def _walk(record: Dict, lo: float, hi: float, phase: Optional[str],
+          children: Dict[Optional[int], List[Dict]],
+          segments: List[PathSegment]) -> None:
+    """Partition ``[lo, hi]`` of *record* backwards over its children.
+
+    Children are visited latest-end first; the gap above each visited
+    child belongs to *record* itself, and overlapping siblings are
+    clipped so segments never double-count an instant.  Segments are
+    appended latest-first; the caller reverses once at the end.
+    """
+    own_phase = phase if phase is not None else record["name"]
+    t = hi
+    kids = children.get(record["span"])
+    if kids:
+        for child in sorted(kids, key=lambda c: (c["end"], c["start"],
+                                                 c["span"]), reverse=True):
+            if t - lo <= _EPS:
+                break
+            child_end = min(child["end"], t)
+            if child_end - lo <= _EPS:
+                # Sorted by end descending: no later child reaches lo.
+                break
+            child_start = max(child["start"], lo)
+            if child_end - child_start <= _EPS:
+                # No usable overlap with the uncovered window [lo, t]
+                # (e.g. a sibling starting after the cursor): skipping
+                # it keeps the cursor monotone within the window.
+                continue
+            _emit_span_portion(record, child_end, t, own_phase, segments)
+            _walk(child, child_start, child_end,
+                  phase if phase is not None else child["name"],
+                  children, segments)
+            t = child_start
+    _emit_span_portion(record, lo, t, own_phase, segments)
+
+
+def critical_paths(records: Iterable[Dict]) -> List[CriticalPath]:
+    """Extract the critical path of every complete trace in *records*.
+
+    *records* are span dictionaries as produced by
+    :func:`~repro.obs.export.span_records` or read back from a
+    ``*.spans.jsonl`` export.  Returns paths sorted by query id.
+    """
+    paths: List[CriticalPath] = []
+    for trace_id, spans in sorted(_complete_traces(records).items()):
+        root = next(s for s in spans.values() if s["parent"] is None)
+        children: Dict[Optional[int], List[Dict]] = {}
+        for span in spans.values():
+            if span["parent"] is not None:
+                children.setdefault(span["parent"], []).append(span)
+        segments: List[PathSegment] = []
+        _walk(root, root["start"], root["end"], None, children, segments)
+        segments.reverse()
+        paths.append(CriticalPath(
+            query_id=trace_id,
+            query_type=root.get("qtype", "?"),
+            start=root["start"], end=root["end"], segments=segments,
+            total_work=sum(s.get("wait", 0.0) + s.get("service", 0.0)
+                           for s in spans.values() if "resource" in s)))
+    return paths
+
+
+# -- aggregation -----------------------------------------------------------
+
+
+@dataclass
+class CritPathSummary:
+    """Per-query-type critical-path attribution (mean seconds/query)."""
+
+    query_type: str
+    queries: int
+    mean_wall: float
+    #: Overlapping all-leaves work (the why-table view), mean per query.
+    mean_total_work: float
+    #: attribution key -> mean seconds on the critical path.
+    path_seconds: Dict[str, float]
+    #: top-level phase -> mean seconds on the critical path.
+    phase_seconds: Dict[str, float]
+
+    @property
+    def mean_critical_work(self) -> float:
+        """Mean resource (non-self) seconds on the path."""
+        return sum(seconds for key, seconds in self.path_seconds.items()
+                   if not key.endswith(".self"))
+
+    @property
+    def parallelism(self) -> float:
+        """Overlap factor: total resource work per wall second.
+
+        1.0 means perfectly serial execution (BERD's probe phase);
+        large values mean wide fan-out actually overlapping.
+        """
+        return (self.mean_total_work / self.mean_wall
+                if self.mean_wall > 0 else 0.0)
+
+    @property
+    def serial_fraction(self) -> float:
+        """Share of the wall spent on critical-path resource leaves."""
+        return (self.mean_critical_work / self.mean_wall
+                if self.mean_wall > 0 else 0.0)
+
+
+def summarize_critical_paths(paths: Iterable[CriticalPath],
+                             ) -> Dict[str, CritPathSummary]:
+    """Aggregate per-query critical paths per query type."""
+    grouped: Dict[str, List[CriticalPath]] = {}
+    for path in paths:
+        grouped.setdefault(path.query_type, []).append(path)
+    out: Dict[str, CritPathSummary] = {}
+    for query_type in sorted(grouped):
+        group = grouped[query_type]
+        n = len(group)
+        attribution: Dict[str, float] = {}
+        phases: Dict[str, float] = {}
+        for path in group:
+            for key, seconds in path.attribution().items():
+                attribution[key] = attribution.get(key, 0.0) + seconds
+            for phase, seconds in path.phases().items():
+                phases[phase] = phases.get(phase, 0.0) + seconds
+        out[query_type] = CritPathSummary(
+            query_type=query_type,
+            queries=n,
+            mean_wall=sum(p.wall for p in group) / n,
+            mean_total_work=sum(p.total_work for p in group) / n,
+            path_seconds={key: seconds / n
+                          for key, seconds in attribution.items()},
+            phase_seconds={phase: seconds / n
+                           for phase, seconds in phases.items()})
+    return out
+
+
+def critpath_table(summaries: Dict[str, CritPathSummary],
+                   top_k: int = 6) -> str:
+    """Render critical-path summaries as a text table (why-table style).
+
+    Per query type: the top-k resources *on the critical path* with
+    their wait/service split and their share of the wall response time
+    (shares sum to <= 100% by construction), the coordination residue,
+    the phase split, and the serialization-vs-parallelism readout.
+    """
+    if not summaries:
+        return "(no complete traces -- was tracing enabled?)"
+    lines: List[str] = []
+    for query_type in sorted(summaries):
+        summary = summaries[query_type]
+        wall = summary.mean_wall
+        lines.append(
+            f"query type {query_type} -- critical path over "
+            f"{summary.queries} queries, mean response {wall:.4f}s")
+        lines.append(f"  {'component':<14} {'wait s':>9} {'service s':>10} "
+                     f"{'path s':>9} {'share':>7}")
+        by_resource: Dict[str, List[float]] = {}
+        coordination = 0.0
+        for key, seconds in summary.path_seconds.items():
+            resource, _, kind = key.rpartition(".")
+            if kind == "self":
+                coordination += seconds
+                continue
+            totals = by_resource.setdefault(resource, [0.0, 0.0])
+            totals[0 if kind == "wait" else 1] += seconds
+        rows = sorted(by_resource.items(),
+                      key=lambda item: -(item[1][0] + item[1][1]))
+        for resource, (wait, service) in rows[:top_k]:
+            total = wait + service
+            share = total / wall if wall else 0.0
+            lines.append(f"  {resource:<14} {wait:>9.4f} {service:>10.4f} "
+                         f"{total:>9.4f} {share:>6.1%}")
+        if len(rows) > top_k:
+            rest = sum(w + s for _, (w, s) in rows[top_k:])
+            lines.append(f"  {'(other)':<14} {'':>9} {'':>10} "
+                         f"{rest:>9.4f} "
+                         f"{(rest / wall if wall else 0.0):>6.1%}")
+        lines.append(f"  {'(coordination)':<14} {'':>9} {'':>10} "
+                     f"{coordination:>9.4f} "
+                     f"{(coordination / wall if wall else 0.0):>6.1%}")
+        phase_split = " | ".join(
+            f"{phase} {seconds / wall if wall else 0.0:.1%}"
+            for phase, seconds in sorted(
+                summary.phase_seconds.items(),
+                key=lambda item: -item[1]))
+        lines.append(f"  phase split: {phase_split}")
+        lines.append(
+            f"  total work {summary.mean_total_work:.4f}s/query across "
+            f"all sites = {summary.parallelism:.1f}x overlap; "
+            f"critical-path resource time "
+            f"{summary.mean_critical_work:.4f}s "
+            f"({summary.serial_fraction:.1%} of wall, rest is "
+            f"coordination)")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+# -- Perfetto export -------------------------------------------------------
+
+
+def chrome_events_from_critical_path(path: CriticalPath, pid: int = 0,
+                                     tid: Optional[int] = None,
+                                     ) -> List[Dict]:
+    """One query's critical path as Catapult complete ("X") events.
+
+    Renders as a single lane (default: the query id) where consecutive
+    segments tile the whole response time -- drop it next to the raw
+    span track of :func:`~repro.obs.export.chrome_events_from_span_records`
+    to see which spans the path selected.  Simulated seconds map to
+    trace microseconds 1:1, matching the span exporter.
+    """
+    lane = path.query_id if tid is None else tid
+    events: List[Dict] = [{
+        "name": "thread_name", "ph": "M", "pid": pid, "tid": lane,
+        "args": {"name": f"critical path: query {path.query_id} "
+                         f"({path.query_type})"},
+    }]
+    for segment in path.segments:
+        events.append({
+            "name": f"{segment.name} [{segment.kind}]",
+            "cat": "critical-path",
+            "ph": "X",
+            "ts": segment.start * 1e6,
+            "dur": max(segment.duration, 0.0) * 1e6,
+            "pid": pid,
+            "tid": lane,
+            "args": {"phase": segment.phase, "kind": segment.kind,
+                     "qtype": path.query_type},
+        })
+    return events

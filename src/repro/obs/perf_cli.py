@@ -85,6 +85,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--benchmark", default="manual",
                         help="benchmark name stamped on --append rows "
                              "(default: manual)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when any metric's latest entry "
+                             "moved >10%% in the regressing direction "
+                             "(CI gate); default is report-only exit 0")
     return parser
 
 
@@ -112,13 +116,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"(wrote {args.out})")
 
     # Exit 0 even on an empty ledger: rendering history is a read-only
-    # report, not a gate.  Regression *gating* stays in the benchmarks.
-    # Direction-aware: *_seconds metrics regress upward (slower build or
-    # run), everything else (rates, speedups, throughputs) downward.
+    # report, not a gate -- unless --strict turns regressions into a
+    # non-zero exit for CI.  Direction-aware: *_seconds metrics regress
+    # upward (slower build or run), everything else (rates, speedups,
+    # throughputs) downward.
     regressed = regressions(latest_diffs(rows))
     if regressed:
         print(f"(note: >10% regression vs previous entry in: "
               f"{', '.join(regressed)})", file=sys.stderr)
+        if args.strict:
+            return 1
     return 0
 
 

@@ -24,10 +24,30 @@ from typing import Any, Dict, Iterator, List, Optional
 from ..des.environment import Environment
 from ..des.trace import TraceEntry, Tracer
 
-__all__ = ["Span", "QueryTrace", "SpanLog", "SPAN_KIND"]
+__all__ = ["Span", "QueryTrace", "SpanLog", "SPAN_KIND",
+           "UnknownQueryError"]
 
 #: The Tracer entry kind under which closed spans are stored.
 SPAN_KIND = "span"
+
+
+class UnknownQueryError(KeyError):
+    """Raised when ending a query whose trace was never begun.
+
+    Subclasses :class:`KeyError` so callers that guarded the old bare
+    ``active.pop`` failure keep working; the message names the query
+    and the log's state instead of a bare id.
+    """
+
+    def __init__(self, query_id: int, active_traces: int):
+        self.query_id = query_id
+        self.active_traces = active_traces
+        super().__init__(query_id)
+
+    def __str__(self) -> str:
+        return (f"cannot end query {self.query_id}: no active trace for "
+                f"it ({self.active_traces} trace(s) currently active; "
+                f"was begin() called, or was the trace already ended?)")
 
 
 class Span:
@@ -141,8 +161,14 @@ class SpanLog:
         return self.active.get(query_id)
 
     def end(self, query_id: int) -> None:
-        """Close the root span and retire the trace."""
-        trace = self.active.pop(query_id)
+        """Close the root span and retire the trace.
+
+        Raises :class:`UnknownQueryError` if *query_id* has no active
+        trace (never begun, or already ended).
+        """
+        trace = self.active.pop(query_id, None)
+        if trace is None:
+            raise UnknownQueryError(query_id, len(self.active))
         trace.finish(trace.root)
         self.finished += 1
 

@@ -56,7 +56,10 @@ def why_table(log: SpanLog, top_k: int = 5) -> str:
                          f"{time_here:>10.3f} {share:>6.1%} {count:>13d}")
         if len(rows) > top_k:
             rest = sum(w + s for _, w, s, _ in rows[top_k:])
+            rest_share = rest / total_time if total_time else 0.0
+            rest_count = sum(count for _, _, _, count in rows[top_k:])
             lines.append(f"  {'(other)':<12} {'':>10} {'':>10} "
-                         f"{rest:>10.3f}")
+                         f"{rest:>10.3f} {rest_share:>6.1%} "
+                         f"{rest_count:>13d}")
         lines.append("")
     return "\n".join(lines).rstrip() + "\n"

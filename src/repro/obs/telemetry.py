@@ -21,6 +21,7 @@ from typing import Optional
 from ..des.environment import Environment
 from .registry import MetricsRegistry, NULL_REGISTRY, NullRegistry
 from .sampler import TimelineSampler
+from .sketch import LatencyRecorder
 from .spans import QueryTrace, SpanLog
 
 __all__ = ["Telemetry", "TelemetrySpec", "NullTelemetry", "NULL_TELEMETRY"]
@@ -40,11 +41,15 @@ class TelemetrySpec:
     trace: bool = True
     timeline_interval: float = 0.5
     span_capacity: int = 200_000
+    latency: bool = False
+    latency_accuracy: float = 0.02
 
     def build(self) -> "Telemetry":
         return Telemetry(trace=self.trace,
                          timeline_interval=self.timeline_interval,
-                         span_capacity=self.span_capacity)
+                         span_capacity=self.span_capacity,
+                         latency=self.latency,
+                         latency_accuracy=self.latency_accuracy)
 
 
 class Telemetry:
@@ -53,7 +58,8 @@ class Telemetry:
     enabled = True
 
     def __init__(self, trace: bool = True, timeline_interval: float = 0.5,
-                 span_capacity: int = 200_000):
+                 span_capacity: int = 200_000, latency: bool = False,
+                 latency_accuracy: float = 0.02):
         self.registry = MetricsRegistry()
         self.timeline_interval = timeline_interval
         self.span_capacity = span_capacity
@@ -61,6 +67,12 @@ class Telemetry:
         self.spans: Optional[SpanLog] = None
         self.sampler: Optional[TimelineSampler] = None
         self.env: Optional[Environment] = None
+        # The latency recorder needs no environment: it is fed absolute
+        # response times by RunMetrics.record_completion, so it exists
+        # from construction and survives detach()/pickling as data.
+        self.latency: Optional[LatencyRecorder] = (
+            LatencyRecorder(relative_accuracy=latency_accuracy)
+            if latency else None)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -90,6 +102,8 @@ class Telemetry:
         self.registry.reset()
         if self.spans is not None:
             self.spans.reset()
+        if self.latency is not None:
+            self.latency.reset()
         if self.sampler is not None:
             self.sampler.resync()
             self.sampler.start()
@@ -161,6 +175,7 @@ class NullTelemetry:
     tracing = False
     spans = None
     sampler = None
+    latency = None
     registry: NullRegistry = NULL_REGISTRY
 
     def bind(self, env: Environment) -> "NullTelemetry":

@@ -53,6 +53,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="results-v2 figure JSON file(s): wall-clock "
                              "phase spans (requires the run to have been "
                              "made with phase collection on, the default)")
+    parser.add_argument("--critical-path", type=int, default=0,
+                        metavar="N",
+                        help="additionally export the critical path of "
+                             "the N slowest queries per --spans file as "
+                             "its own track: one lane per query, tiled "
+                             "wait/service/self segments next to the "
+                             "raw span tree")
     parser.add_argument("--out", default="trace.json", metavar="FILE",
                         help="output trace path (default: trace.json)")
     return parser
@@ -75,6 +82,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             records, pid=1000 + index,
             process_name=f"simulated time: {stem}")
         print(f"{path}: {len(records)} simulated-time spans")
+        if args.critical_path > 0:
+            from .critpath import (chrome_events_from_critical_path,
+                                   critical_paths)
+            paths = sorted(critical_paths(records),
+                           key=lambda p: -p.wall)[:args.critical_path]
+            pid = 2000 + index
+            events.append({"name": "process_name", "ph": "M", "pid": pid,
+                           "tid": 0, "args": {"name": f"critical paths: "
+                                                      f"{stem}"}})
+            for path_obj in paths:
+                events += chrome_events_from_critical_path(path_obj,
+                                                           pid=pid)
+            print(f"{path}: critical path of the {len(paths)} slowest "
+                  f"queries exported")
 
     for path in args.results:
         with open(path) as handle:

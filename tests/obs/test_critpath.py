@@ -1,0 +1,174 @@
+"""Unit tests for critical-path extraction and attribution."""
+
+import pytest
+
+from repro.obs import (
+    critical_paths,
+    chrome_events_from_critical_path,
+    critpath_table,
+    summarize_critical_paths,
+    validate_chrome_trace,
+    chrome_trace,
+)
+
+
+def _span(trace, span, parent, name, start, end, **attrs):
+    record = {"trace": trace, "span": span, "parent": parent,
+              "name": name, "start": start, "end": end, "qtype": "QA"}
+    record.update(attrs)
+    return record
+
+
+def _leaf(trace, span, parent, resource, wait, service, end):
+    return _span(trace, span, parent, resource,
+                 end - wait - service, end,
+                 resource=resource, wait=wait, service=service)
+
+
+def _simple_trace(trace_id=1):
+    """root [0,10] -> plan [0,1] with a leaf, select [1,9] with leaves."""
+    return [
+        _span(trace_id, 0, None, "query", 0.0, 10.0),
+        _span(trace_id, 1, 0, "plan", 0.0, 1.0),
+        _leaf(trace_id, 2, 1, "sched.cpu", wait=0.25, service=0.5, end=0.75),
+        _span(trace_id, 3, 0, "select.site", 1.0, 9.0),
+        _leaf(trace_id, 4, 3, "node.disk", wait=1.0, service=3.0, end=6.0),
+        _leaf(trace_id, 5, 3, "node.cpu", wait=0.0, service=2.0, end=8.0),
+    ]
+
+
+class TestCriticalPaths:
+    def test_segments_partition_the_wall(self):
+        paths = critical_paths(_simple_trace())
+        assert len(paths) == 1
+        path = paths[0]
+        assert path.wall == pytest.approx(10.0)
+        assert sum(s.duration for s in path.segments) \
+            == pytest.approx(path.wall)
+        # Chronological, non-overlapping tiling of [start, end].
+        cursor = path.start
+        for segment in path.segments:
+            assert segment.start == pytest.approx(cursor)
+            cursor = segment.end
+        assert cursor == pytest.approx(path.end)
+
+    def test_attribution_sums_to_at_most_wall(self):
+        path = critical_paths(_simple_trace())[0]
+        attribution = path.attribution()
+        assert sum(attribution.values()) <= path.wall * (1 + 1e-9)
+        assert sum(attribution.values()) == pytest.approx(path.wall)
+        # Leaf time split into wait/service; gaps attributed as self.
+        assert attribution["node.disk.wait"] == pytest.approx(1.0)
+        assert attribution["node.disk.service"] == pytest.approx(3.0)
+        assert attribution["sched.cpu.wait"] == pytest.approx(0.25)
+        assert attribution["sched.cpu.service"] == pytest.approx(0.5)
+        # query self: [9, 10]; plan self: [0.75, 1.0].
+        assert attribution["query.self"] == pytest.approx(1.0)
+        assert attribution["plan.self"] == pytest.approx(0.25)
+
+    def test_phases_partition_the_wall(self):
+        path = critical_paths(_simple_trace())[0]
+        phases = path.phases()
+        assert sum(phases.values()) == pytest.approx(path.wall)
+        assert phases["plan"] == pytest.approx(1.0)
+        assert phases["select.site"] == pytest.approx(8.0)
+        assert phases["query"] == pytest.approx(1.0)
+
+    def test_overlapping_siblings_are_clipped(self):
+        # Two children overlap on [2, 6]; the path must not double-count.
+        records = [
+            _span(1, 0, None, "query", 0.0, 10.0),
+            _leaf(1, 1, 0, "node.cpu", wait=0.0, service=6.0, end=6.0),
+            _leaf(1, 2, 0, "node.disk", wait=0.0, service=8.0, end=10.0),
+        ]
+        path = critical_paths(records)[0]
+        assert sum(s.duration for s in path.segments) \
+            == pytest.approx(10.0)
+        attribution = path.attribution()
+        # The later-ending disk leaf wins its whole interval [2, 10];
+        # the cpu leaf only contributes the uncovered prefix [0, 2].
+        assert attribution["node.disk.service"] == pytest.approx(8.0)
+        assert attribution["node.cpu.service"] == pytest.approx(2.0)
+
+    def test_grandchild_outside_clip_window_is_skipped(self):
+        # A clipped subtree whose own children lie entirely after the
+        # clip window must not leak segments outside it.
+        records = [
+            _span(1, 0, None, "query", 0.0, 10.0),
+            _span(1, 1, 0, "select.site", 0.0, 8.0),
+            _leaf(1, 2, 1, "node.cpu", wait=0.0, service=1.0, end=8.0),
+            _span(1, 3, 0, "select.site", 4.0, 10.0),
+            _leaf(1, 4, 3, "node.disk", wait=0.0, service=2.0, end=10.0),
+        ]
+        path = critical_paths(records)[0]
+        assert sum(s.duration for s in path.segments) \
+            == pytest.approx(10.0)
+        cursor = path.start
+        for segment in path.segments:
+            assert segment.start >= cursor - 1e-12
+            cursor = segment.end
+
+    def test_truncated_traces_skipped(self):
+        records = _simple_trace()
+        records[2]["truncated"] = True
+        assert critical_paths(records) == []
+
+    def test_incomplete_traces_skipped(self):
+        no_root = [r for r in _simple_trace() if r["parent"] is not None]
+        assert critical_paths(no_root) == []
+        missing_parent = _simple_trace(2)
+        missing_parent.pop(3)  # drop select.site; its leaves dangle
+        assert critical_paths(missing_parent) == []
+
+    def test_total_work_is_all_leaves(self):
+        path = critical_paths(_simple_trace())[0]
+        # 0.75 + 4.0 + 2.0 over all leaves, overlapping or not.
+        assert path.total_work == pytest.approx(6.75)
+
+
+class TestSummaries:
+    def test_per_type_aggregation(self):
+        records = _simple_trace(1) + _simple_trace(2)
+        summaries = summarize_critical_paths(critical_paths(records))
+        assert list(summaries) == ["QA"]
+        summary = summaries["QA"]
+        assert summary.queries == 2
+        assert summary.mean_wall == pytest.approx(10.0)
+        assert sum(summary.path_seconds.values()) \
+            == pytest.approx(10.0)
+        assert sum(summary.phase_seconds.values()) \
+            == pytest.approx(10.0)
+        assert summary.mean_critical_work <= summary.mean_wall
+        assert 0.0 < summary.serial_fraction <= 1.0
+        assert summary.parallelism == pytest.approx(6.75 / 10.0)
+
+    def test_table_renders_shares_and_phases(self):
+        summaries = summarize_critical_paths(
+            critical_paths(_simple_trace()))
+        text = critpath_table(summaries)
+        assert "query type QA" in text
+        assert "node.disk" in text
+        assert "(coordination)" in text
+        assert "phase split:" in text
+        assert "select.site" in text
+        assert "overlap" in text
+
+    def test_empty_table_message(self):
+        assert "no complete traces" in critpath_table({})
+
+
+class TestChromeExport:
+    def test_events_validate_and_tile(self):
+        path = critical_paths(_simple_trace())[0]
+        events = chrome_events_from_critical_path(path, pid=7)
+        trace = chrome_trace(events)
+        assert validate_chrome_trace(trace) == []
+        slices = [e for e in events if e.get("ph") == "X"]
+        assert len(slices) == len(path.segments)
+        assert all(e["pid"] == 7 for e in slices)
+        # Simulated seconds -> microseconds, tiling the response time.
+        total_us = sum(e["dur"] for e in slices)
+        assert total_us == pytest.approx(path.wall * 1e6)
+        names = {e["name"] for e in slices}
+        assert any("[service]" in name for name in names)
+        assert any("[self]" in name for name in names)

@@ -181,3 +181,28 @@ class TestRegressionDirection:
         err = capsys.readouterr().err
         assert "regression" in err
         assert "wall_seconds" in err
+
+
+class TestStrictMode:
+    def test_strict_exits_one_on_regression(self, ledger, capsys):
+        perf_main(["--ledger", ledger, "--append", "wall_seconds=10"])
+        capsys.readouterr()
+        assert perf_main(["--ledger", ledger, "--strict",
+                          "--append", "wall_seconds=20"]) == 1
+        assert "regression" in capsys.readouterr().err
+
+    def test_without_strict_regression_still_exits_zero(self, ledger,
+                                                        capsys):
+        perf_main(["--ledger", ledger, "--append", "wall_seconds=10"])
+        assert perf_main(["--ledger", ledger,
+                          "--append", "wall_seconds=20"]) == 0
+        assert "regression" in capsys.readouterr().err
+
+    def test_strict_without_regression_exits_zero(self, ledger, capsys):
+        perf_main(["--ledger", ledger, "--append", "wall_seconds=20"])
+        assert perf_main(["--ledger", ledger, "--strict",
+                          "--append", "wall_seconds=10"]) == 0
+        assert "regression" not in capsys.readouterr().err
+
+    def test_strict_on_empty_ledger_exits_zero(self, ledger):
+        assert perf_main(["--ledger", ledger, "--strict"]) == 0

@@ -1,0 +1,202 @@
+"""Unit tests for the mergeable latency sketches."""
+
+import json
+import math
+import pickle
+import random
+
+import pytest
+
+from repro.obs import LatencyRecorder, LatencySketch
+
+
+def _quantile_exact(values, q):
+    return sorted(values)[int(q * (len(values) - 1))]
+
+
+class TestLatencySketch:
+    def test_empty_sketch(self):
+        sketch = LatencySketch()
+        assert len(sketch) == 0
+        assert math.isnan(sketch.quantile(0.5))
+        assert math.isnan(sketch.mean)
+        assert sketch.bucket_count == 0
+
+    def test_single_value(self):
+        sketch = LatencySketch()
+        sketch.record(0.125)
+        assert sketch.quantile(0.0) == pytest.approx(0.125, rel=0.02)
+        assert sketch.quantile(1.0) == pytest.approx(0.125, rel=0.02)
+        assert sketch.mean == pytest.approx(0.125)
+        assert sketch.min == sketch.max == 0.125
+
+    @pytest.mark.parametrize("accuracy", [0.01, 0.02, 0.05])
+    def test_relative_accuracy_guarantee(self, accuracy):
+        rng = random.Random(42)
+        values = [rng.lognormvariate(0.0, 2.0) for _ in range(4000)]
+        sketch = LatencySketch(relative_accuracy=accuracy)
+        for value in values:
+            sketch.record(value)
+        for q in (0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999):
+            exact = _quantile_exact(values, q)
+            estimate = sketch.quantile(q)
+            assert abs(estimate - exact) <= accuracy * exact * 1.001, \
+                (q, estimate, exact)
+
+    def test_zero_and_negative_values_counted(self):
+        sketch = LatencySketch()
+        sketch.record(0.0)
+        sketch.record(0.0)
+        sketch.record(1.0)
+        assert sketch.count == 3
+        assert sketch.quantile(0.0) == 0.0
+        assert sketch.quantile(1.0) == pytest.approx(1.0, rel=0.0201)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LatencySketch(relative_accuracy=0.0)
+        with pytest.raises(ValueError):
+            LatencySketch(relative_accuracy=1.0)
+        with pytest.raises(ValueError):
+            LatencySketch(max_buckets=1)
+        with pytest.raises(ValueError):
+            LatencySketch().quantile(1.5)
+
+    def test_bounded_memory_with_accurate_tail(self):
+        # 9 decades of values into 48 buckets: low buckets collapse,
+        # but the p99 of the (high) tail stays within the guarantee.
+        sketch = LatencySketch(relative_accuracy=0.02, max_buckets=48)
+        rng = random.Random(7)
+        values = [10 ** rng.uniform(-6, 3) for _ in range(20_000)]
+        for value in values:
+            sketch.record(value)
+        assert len(sketch.buckets) <= 48
+        assert sketch.bucket_count <= 49
+        for q in (0.95, 0.99, 0.999):
+            exact = _quantile_exact(values, q)
+            assert abs(sketch.quantile(q) - exact) <= 0.02 * exact * 1.001
+
+    def test_capacity_independent_of_sample_count(self):
+        sketch = LatencySketch(max_buckets=64)
+        rng = random.Random(3)
+        sizes = []
+        for n in range(1, 50_001):
+            sketch.record(rng.expovariate(1.0))
+            if n % 10_000 == 0:
+                sizes.append(sketch.bucket_count)
+        assert all(size <= 65 for size in sizes)
+        # Growth has stopped: the last two checkpoints are equal.
+        assert sizes[-1] == sizes[-2]
+
+    def test_merge_equals_single_stream(self):
+        rng = random.Random(11)
+        values = [rng.lognormvariate(0, 1) for _ in range(3000)]
+        whole = LatencySketch()
+        for value in values:
+            whole.record(value)
+        # Shard the same stream over 3 sketches and merge.
+        shards = [LatencySketch() for _ in range(3)]
+        for index, value in enumerate(values):
+            shards[index % 3].record(value)
+        merged = LatencySketch()
+        for shard in shards:
+            merged.merge(shard)
+        assert merged.buckets == whole.buckets
+        assert merged.count == whole.count
+        assert merged.total == pytest.approx(whole.total)
+        assert merged.min == whole.min
+        assert merged.max == whole.max
+
+    def test_merge_rejects_mismatched_parameters(self):
+        with pytest.raises(ValueError):
+            LatencySketch(relative_accuracy=0.02).merge(
+                LatencySketch(relative_accuracy=0.05))
+        with pytest.raises(ValueError):
+            LatencySketch(max_buckets=128).merge(
+                LatencySketch(max_buckets=512))
+
+    def test_json_round_trip(self):
+        sketch = LatencySketch()
+        for value in (0.0, 0.001, 0.5, 2.0, 2.0, 100.0):
+            sketch.record(value)
+        payload = json.loads(json.dumps(sketch.to_dict()))
+        back = LatencySketch.from_dict(payload)
+        assert back.buckets == sketch.buckets
+        assert back.count == sketch.count
+        assert back.zero_count == sketch.zero_count
+        assert back.min == sketch.min
+        assert back.max == sketch.max
+        assert back.summary() == sketch.summary()
+
+    def test_empty_json_round_trip(self):
+        back = LatencySketch.from_dict(
+            json.loads(json.dumps(LatencySketch().to_dict())))
+        assert back.count == 0
+        assert back.min == math.inf
+        assert back.max == -math.inf
+
+    def test_pickle_round_trip(self):
+        sketch = LatencySketch()
+        rng = random.Random(5)
+        for _ in range(500):
+            sketch.record(rng.expovariate(2.0))
+        back = pickle.loads(pickle.dumps(sketch))
+        assert back.buckets == sketch.buckets
+        assert back.summary() == sketch.summary()
+
+    def test_summary_columns(self):
+        sketch = LatencySketch()
+        for value in (0.01, 0.02, 0.03):
+            sketch.record(value)
+        summary = sketch.summary()
+        assert set(summary) == {"count", "mean", "max", "p50", "p95", "p99"}
+        assert summary["count"] == 3
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+        empty = LatencySketch().summary()
+        assert empty == {"count": 0, "mean": 0.0, "max": 0.0,
+                         "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+class TestLatencyRecorder:
+    def test_records_per_query_type(self):
+        recorder = LatencyRecorder()
+        recorder.record("QA", 0.1)
+        recorder.record("QB", 0.2)
+        recorder.record("QA", 0.3)
+        assert sorted(recorder.sketches) == ["QA", "QB"]
+        assert recorder.sketches["QA"].count == 2
+        assert recorder.overall().count == 3
+
+    def test_reset_drops_warmup(self):
+        recorder = LatencyRecorder()
+        recorder.record("QA", 0.1)
+        recorder.reset()
+        assert recorder.sketches == {}
+
+    def test_merge_and_merged_classmethod(self):
+        a = LatencyRecorder()
+        b = LatencyRecorder()
+        a.record("QA", 0.1)
+        b.record("QA", 0.2)
+        b.record("QB", 0.3)
+        merged = LatencyRecorder.merged([a, b])
+        assert merged.sketches["QA"].count == 2
+        assert merged.sketches["QB"].count == 1
+        assert LatencyRecorder.merged([]) is None
+
+    def test_json_and_pickle_round_trip(self):
+        recorder = LatencyRecorder(relative_accuracy=0.05)
+        recorder.record("QA", 0.25)
+        recorder.record("QB", 1.5)
+        payload = json.loads(json.dumps(recorder.to_dict()))
+        back = LatencyRecorder.from_dict(payload)
+        assert back.relative_accuracy == 0.05
+        assert back.summary() == recorder.summary()
+        pickled = pickle.loads(pickle.dumps(recorder))
+        assert pickled.summary() == recorder.summary()
+
+    def test_summary_sorted_by_type(self):
+        recorder = LatencyRecorder()
+        recorder.record("QB", 0.2)
+        recorder.record("QA", 0.1)
+        assert list(recorder.summary()) == ["QA", "QB"]

@@ -5,6 +5,8 @@ traced machine, dump the spans to JSONL, read them back, and verify
 every trace replays as a well-nested tree.
 """
 
+import pickle
+
 import pytest
 
 from repro.core import RangeStrategy
@@ -14,6 +16,7 @@ from repro.obs import (
     SPAN_KIND,
     SpanLog,
     Telemetry,
+    UnknownQueryError,
     build_span_forest,
     load_jsonl,
     span_records,
@@ -104,6 +107,25 @@ class TestQueryTrace:
         assert {r["name"] for r in records} == {"query", "select.site"}
         assert site.span_id in {r["span"] for r in records}
 
+    def test_end_unknown_query_raises_structured_error(self, log):
+        log.begin(1, "QA")
+        log.begin(2, "QB")
+        with pytest.raises(UnknownQueryError) as excinfo:
+            log.end(99)
+        # The message names the query and the log's state, and the
+        # error stays a KeyError for callers guarding the old failure.
+        assert "query 99" in str(excinfo.value)
+        assert "2 trace(s)" in str(excinfo.value)
+        assert excinfo.value.query_id == 99
+        assert excinfo.value.active_traces == 2
+        assert isinstance(excinfo.value, KeyError)
+
+    def test_double_end_raises_structured_error(self, log):
+        log.begin(1, "QA")
+        log.end(1)
+        with pytest.raises(UnknownQueryError):
+            log.end(1)
+
     def test_reset_drops_history_keeps_active(self, env, log):
         trace = log.begin(1, "QA")
         trace.resource(trace.root, "node.cpu", wait=0.0, service=0.1)
@@ -114,6 +136,44 @@ class TestQueryTrace:
         assert log.lookup(1) is trace
         log.end(1)
         assert log.span_count() == 1
+
+
+class TestFlushAndDetach:
+    def test_flush_emits_children_before_root(self, env, log):
+        trace = log.begin(1, "QA")
+        site = trace.start("select.site")
+        deeper = trace.start("probe.site", parent=site)
+        env.run(until=2.0)
+        log.flush()
+        # Emit order must be child-before-parent so the exported
+        # stream replays as a well-nested tree: deepest span first,
+        # the root (span id 0) last.
+        emitted = [r["span"] for r in span_records(log)]
+        assert emitted == [deeper.span_id, site.span_id,
+                           trace.root.span_id]
+        assert emitted[-1] == 0
+
+    def test_detached_log_pickle_round_trip(self, env, log):
+        trace = log.begin(1, "QA")
+        trace.resource(trace.root, "node.disk", wait=0.2, service=0.4)
+        env.run(until=1.5)
+        log.end(1)
+        log.flush()
+        log.detach()
+        # The parallel-worker merge ships detached logs across process
+        # boundaries: everything collected must survive pickling.
+        clone = pickle.loads(pickle.dumps(log))
+        assert clone.env is None
+        assert clone.active == {}
+        assert clone.finished == log.finished
+        assert clone.resource_totals == log.resource_totals
+        assert list(span_records(clone)) == list(span_records(log))
+
+    def test_pickling_live_log_drops_env_and_active(self, env, log):
+        log.begin(1, "QA")
+        clone = pickle.loads(pickle.dumps(log))
+        assert clone.env is None
+        assert clone.active == {}
 
 
 class TestForestValidation:

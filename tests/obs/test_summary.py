@@ -68,3 +68,31 @@ class TestWhyTable:
         assert "resource.3" in text
         assert "resource.2" in text
         assert "resource.0" not in text
+
+    def test_other_row_carries_share_and_count(self, log):
+        # resource.i contributes (1+i) * (i+1) seconds: 1, 4, 9, 16.
+        # Top 2 (r3=16, r2=9) get rows; folded r1+r0 = 5s of 30s.
+        for i in range(4):
+            _record(log, "QA", f"resource.{i}", wait=0.0,
+                    service=1.0 + i, times=i + 1)
+        text = why_table(log, top_k=2)
+        other = next(line for line in text.splitlines()
+                     if "(other)" in line)
+        assert "5.000" in other
+        assert "16.7%" in other
+        # Folded acquisition counts: 2 (r1) + 1 (r0).
+        assert other.rstrip().endswith("3")
+
+    def test_golden_rendering(self, log):
+        _record(log, "QA", "node.disk", wait=0.5, service=1.5)
+        _record(log, "QA", "node.cpu", wait=0.0, service=0.5, times=2)
+        expected = (
+            "query type QA -- attributed time 3.000s across 2 resources\n"
+            "  resource         wait s  service s    total s   share"
+            "  acquisitions\n"
+            "  node.disk         0.500      1.500      2.000  66.7%"
+            "             1\n"
+            "  node.cpu          0.000      1.000      1.000  33.3%"
+            "             2\n"
+        )
+        assert why_table(log) == expected
