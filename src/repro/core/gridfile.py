@@ -29,7 +29,24 @@ import numpy as np
 from ..storage.relation import Relation
 from .directory import GridDirectory
 
-__all__ = ["build_from_shape", "build_equal_width", "build_gridfile"]
+__all__ = ["build_from_shape", "build_equal_width", "build_gridfile",
+           "split_cut"]
+
+
+def split_cut(inside: np.ndarray) -> Optional[int]:
+    """Split plane for one overflowing entry's values along one dimension.
+
+    The grid file splits at the median, clamped so both sides are
+    non-empty (values ``<= cut`` fall left).  Returns ``None`` when the
+    values are all equal and the dimension cannot be split.  Shared by
+    the bulk builder below and the online split path in
+    :mod:`repro.dynamics.mutations`.
+    """
+    lo, hi = inside.min(), inside.max()
+    if lo == hi:
+        return None
+    median = int(np.median(inside))
+    return min(max(median, int(lo)), int(hi) - 1)
 
 
 def _counts_from_bins(bins: List[np.ndarray], shape: Sequence[int]) -> np.ndarray:
@@ -157,12 +174,9 @@ def build_gridfile(relation: Relation, attributes: Sequence[str],
             key=lambda d: (splits_done[d] + 1) / split_weights[attributes[d]])
         chosen = None
         for dim in ranked:
-            inside = columns[dim][mask]
-            lo, hi = inside.min(), inside.max()
-            if lo == hi:
+            cut = split_cut(columns[dim][mask])
+            if cut is None:
                 continue  # all values equal along this dim; cannot split
-            median = int(np.median(inside))
-            cut = min(max(median, int(lo)), int(hi) - 1)
             chosen = (dim, cut)
             break
         if chosen is None:

@@ -39,7 +39,36 @@ from .strategy import (
     RoutingDecision,
 )
 
-__all__ = ["MagicStrategy", "MagicPlacement", "MagicTuning"]
+__all__ = ["MagicStrategy", "MagicPlacement", "MagicTuning",
+           "materialize_fragments"]
+
+
+def materialize_fragments(relation: Relation, directory: GridDirectory,
+                          num_sites: int):
+    """Ship each tuple to the processor owning its grid entry (step 5).
+
+    Module-level so the elastic rescaler (:mod:`repro.dynamics.rescale`)
+    can re-materialize fragments after entry migration without a
+    strategy object.
+    """
+    flat_entry = np.zeros(relation.cardinality, dtype=np.int64)
+    for dim, attr in enumerate(directory.attributes):
+        bins = np.searchsorted(directory.boundaries[dim],
+                               relation.column(attr), side="left")
+        flat_entry = flat_entry * directory.shape[dim] + bins
+    site_of_tuple = directory.assignment.ravel()[flat_entry]
+    # Group tuple indices by site in one stable sort instead of one
+    # full-relation scan per site (O(n log n) vs O(P * n)); within a
+    # site the stable sort keeps indices ascending, exactly what the
+    # per-site np.nonzero scan used to produce.
+    order = np.argsort(site_of_tuple, kind="stable")
+    starts = np.searchsorted(site_of_tuple[order],
+                             np.arange(num_sites + 1))
+    return [
+        relation.fragment(order[starts[site]:starts[site + 1]],
+                          site=site)
+        for site in range(num_sites)
+    ]
 
 
 @dataclass(frozen=True)
@@ -235,31 +264,9 @@ class MagicStrategy(DeclusteringStrategy):
                     directory, num_sites,
                     diversity_slack=self.tuning.entry_exchange_slack)
 
-        fragments = self._materialize_fragments(relation, directory, num_sites)
+        fragments = materialize_fragments(relation, directory, num_sites)
         return MagicPlacement(
             relation, fragments, directory,
             slice_targets=(dict(zip(self.attributes, targets))
                            if targets is not None else None),
             mi=dict(zip(self.attributes, mi)))
-
-    def _materialize_fragments(self, relation: Relation,
-                               directory: GridDirectory, num_sites: int):
-        """Step 5: ship each tuple to the processor owning its entry."""
-        flat_entry = np.zeros(relation.cardinality, dtype=np.int64)
-        for dim, attr in enumerate(self.attributes):
-            bins = np.searchsorted(directory.boundaries[dim],
-                                   relation.column(attr), side="left")
-            flat_entry = flat_entry * directory.shape[dim] + bins
-        site_of_tuple = directory.assignment.ravel()[flat_entry]
-        # Group tuple indices by site in one stable sort instead of one
-        # full-relation scan per site (O(n log n) vs O(P * n)); within a
-        # site the stable sort keeps indices ascending, exactly what the
-        # per-site np.nonzero scan used to produce.
-        order = np.argsort(site_of_tuple, kind="stable")
-        starts = np.searchsorted(site_of_tuple[order],
-                                 np.arange(num_sites + 1))
-        return [
-            relation.fragment(order[starts[site]:starts[site + 1]],
-                              site=site)
-            for site in range(num_sites)
-        ]

@@ -1,0 +1,216 @@
+"""Deterministic fault injection for the Gamma model.
+
+A :class:`FaultPlan` is a frozen, seeded schedule: site ``s`` dies at
+simulated time ``t`` and optionally recovers at ``t'``.  The runtime
+half, :class:`FaultController`, lives inside one machine run: it flips
+sites down/up at the scheduled instants and converts work caught on a
+dead site into :class:`~repro.gamma.messages.OperatorAbort` notices.
+
+Abort notices deliberately bypass the simulated network.  A dead node
+sends nothing; what the scheduler actually observes in a real system is
+its own failure-detection timeout.  The controller therefore waits
+``detection_seconds`` and then places the abort directly into the
+scheduler's mailbox, charging no CPU or NIC anywhere.  This also keeps
+the :class:`~repro.validation.invariants.InvariantChecker` message-
+conservation ledger intact: network sends still equal network
+deliveries because the notice never was a network message.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..gamma.messages import OperatorAbort
+
+__all__ = ["SiteFailure", "FaultPlan", "FaultController"]
+
+
+@dataclass(frozen=True, slots=True)
+class SiteFailure:
+    """One scheduled failure: ``site`` dies at ``at`` (simulated seconds
+    from the start of the run), recovering at ``recover_at`` if set."""
+
+    site: int
+    at: float
+    recover_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.site < 0:
+            raise ValueError(f"site must be >= 0, got {self.site}")
+        if self.at < 0:
+            raise ValueError(f"failure time must be >= 0, got {self.at}")
+        if self.recover_at is not None and self.recover_at <= self.at:
+            raise ValueError(
+                f"recovery at {self.recover_at} must come after the "
+                f"failure at {self.at}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, seeded schedule of site failures.
+
+    ``detection_seconds`` is the scheduler's failure-detection timeout
+    (abort notices surface that long after the request is lost);
+    ``retry_backoff_seconds`` is how long the scheduler waits before
+    re-dispatching to a recovered site.
+    """
+
+    failures: Tuple[SiteFailure, ...]
+    seed: int = 0
+    detection_seconds: float = 0.05
+    retry_backoff_seconds: float = 0.02
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "failures", tuple(self.failures))
+        if self.detection_seconds < 0:
+            raise ValueError("detection_seconds must be >= 0")
+        if self.retry_backoff_seconds < 0:
+            raise ValueError("retry_backoff_seconds must be >= 0")
+
+    @classmethod
+    def seeded(cls, seed: int, num_sites: int, *, failures: int = 1,
+               fail_at: float = 1.0, spread: float = 0.0,
+               recovery_seconds: Optional[float] = None,
+               detection_seconds: float = 0.05,
+               retry_backoff_seconds: float = 0.02) -> "FaultPlan":
+        """Draw ``failures`` distinct victim sites from ``seed``.
+
+        Failure times are ``fail_at`` plus a uniform draw in
+        ``[0, spread)``; each failed site recovers ``recovery_seconds``
+        later when that is set.
+        """
+        if not 0 < failures <= num_sites:
+            raise ValueError(
+                f"failures must be in 1..{num_sites}, got {failures}")
+        rng = random.Random(seed)
+        victims = rng.sample(range(num_sites), failures)
+        events = []
+        for site in sorted(victims):
+            at = fail_at + (rng.random() * spread if spread > 0 else 0.0)
+            recover = None if recovery_seconds is None else (
+                at + recovery_seconds)
+            events.append(SiteFailure(site=site, at=at, recover_at=recover))
+        return cls(failures=tuple(events), seed=seed,
+                   detection_seconds=detection_seconds,
+                   retry_backoff_seconds=retry_backoff_seconds)
+
+    # -- results-v2 serialization ------------------------------------------
+
+    def to_json_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "detection_seconds": self.detection_seconds,
+            "retry_backoff_seconds": self.retry_backoff_seconds,
+            "failures": [
+                {"site": f.site, "at": f.at, "recover_at": f.recover_at}
+                for f in self.failures
+            ],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict) -> "FaultPlan":
+        return cls(
+            failures=tuple(
+                SiteFailure(site=f["site"], at=f["at"],
+                            recover_at=f.get("recover_at"))
+                for f in payload.get("failures", ())),
+            seed=payload.get("seed", 0),
+            detection_seconds=payload.get("detection_seconds", 0.05),
+            retry_backoff_seconds=payload.get("retry_backoff_seconds", 0.02),
+        )
+
+
+class FaultController:
+    """Runtime state of a :class:`FaultPlan` inside one machine run.
+
+    Built by :class:`~repro.gamma.machine.GammaMachine` when a plan is
+    supplied; operator managers consult :meth:`is_down` per request, the
+    scheduler consults it when deciding retry vs. degrade.
+    """
+
+    def __init__(self, env, plan: FaultPlan):
+        self.env = env
+        self.plan = plan
+        self._down: set = set()
+        self._scheduler_put = None
+        # Counters, reported in the dynamics results payload.
+        self.failures_injected = 0
+        self.recoveries = 0
+        self.aborts_sent = 0
+        self.retries = 0
+        self.degraded_queries = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def bind_scheduler(self, put) -> None:
+        """Register the scheduler mailbox's ``put`` for abort notices."""
+        self._scheduler_put = put
+
+    def start(self) -> None:
+        """Launch the failure/recovery timeline process."""
+        timeline: List[Tuple[float, int, int]] = []
+        for failure in self.plan.failures:
+            timeline.append((failure.at, 0, failure.site))
+            if failure.recover_at is not None:
+                timeline.append((failure.recover_at, 1, failure.site))
+        timeline.sort()
+        if timeline:
+            self.env.process(self._timeline(timeline))
+
+    def _timeline(self, timeline: Iterable[Tuple[float, int, int]]):
+        for at, action, site in timeline:
+            delay = at - self.env.now
+            if delay > 0:
+                yield delay
+            if action == 0:
+                self._down.add(site)
+                self.failures_injected += 1
+            else:
+                self._down.discard(site)
+                self.recoveries += 1
+
+    # -- queries -----------------------------------------------------------
+
+    def is_down(self, site: int) -> bool:
+        return site in self._down
+
+    @property
+    def down_sites(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._down))
+
+    # -- abort notices -----------------------------------------------------
+
+    def abort_request(self, message, site: int) -> None:
+        """A request (or its in-flight execution) died at ``site``.
+
+        Schedules the scheduler-side detection timeout; the abort notice
+        lands in the scheduler mailbox ``detection_seconds`` later.
+        """
+        kind = _KIND_BY_TYPE.get(type(message).__name__, "select")
+        self.aborts_sent += 1
+        self.env.process(self._notify(message.query_id, site, kind))
+
+    def _notify(self, query_id: int, site: int, kind: str):
+        if self.plan.detection_seconds > 0:
+            yield self.plan.detection_seconds
+        self._scheduler_put(OperatorAbort(query_id=query_id, site=site,
+                                          kind=kind))
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "failures_injected": self.failures_injected,
+            "recoveries": self.recoveries,
+            "aborts_sent": self.aborts_sent,
+            "retries": self.retries,
+            "degraded_queries": self.degraded_queries,
+        }
+
+
+_KIND_BY_TYPE = {
+    "SelectRequest": "select",
+    "ProbeRequest": "probe",
+    "InsertRequest": "insert",
+    "AuxInsertRequest": "insert",
+}

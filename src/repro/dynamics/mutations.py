@@ -1,0 +1,213 @@
+"""Online inserts threaded through the Gamma terminals.
+
+:class:`MutationSource` wraps a query mix: with probability
+``insert_fraction`` a terminal draw becomes an online insert (a values
+dict the terminal routes to :meth:`QueryScheduler.submit_insert`)
+instead of a selection.  Inserts pay the full simulated cost at their
+home site -- and, for BERD, at each auxiliary site.
+
+:class:`OnlineGridMaintainer` keeps a MAGIC placement's grid directory
+adaptive while inserts stream in: it tracks live per-entry populations
+and, when an entry overflows its capacity, performs an online grid-file
+split.  The split plane comes from the same median logic as the bulk
+loader (:func:`repro.core.gridfile.split_cut`); the new slice inherits
+the parent slice's processor assignment, so a split moves **zero**
+tuples -- it only refines future routing, exactly like a grid-file
+directory split [NHS84].
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.directory import GridDirectory
+from ..core.gridfile import _counts_from_bins, split_cut
+
+__all__ = ["MutationSource", "OnlineGridMaintainer"]
+
+
+class MutationSource:
+    """A workload source mixing online inserts into a query mix.
+
+    Parameters
+    ----------
+    base:
+        The underlying query source (e.g. a
+        :class:`~repro.workload.mixes.QueryMix`).
+    insert_fraction:
+        Probability a draw is an insert instead of a selection.
+    attributes:
+        Attributes every inserted tuple carries values for (must cover
+        the placement's partitioning attributes).
+    domain:
+        Values are drawn uniformly from ``range(domain)``.
+    maintainer:
+        Optional :class:`OnlineGridMaintainer` notified of every insert
+        (drives online directory splits for MAGIC placements).
+    hot_span:
+        Fraction of the domain inserts concentrate in (append skew:
+        new data typically lands in a narrow, recent key region).  1.0
+        draws uniformly over the whole domain.
+    relation:
+        Relation name the inserts target (defaults to the base mix's).
+    """
+
+    def __init__(self, base: Callable, insert_fraction: float,
+                 attributes: Sequence[str], domain: int,
+                 maintainer: Optional["OnlineGridMaintainer"] = None,
+                 hot_span: float = 1.0,
+                 relation: Optional[str] = None):
+        if not 0.0 <= insert_fraction <= 1.0:
+            raise ValueError(
+                f"insert_fraction must be in [0, 1], got {insert_fraction}")
+        if domain <= 0:
+            raise ValueError(f"domain must be positive, got {domain}")
+        if not 0.0 < hot_span <= 1.0:
+            raise ValueError(
+                f"hot_span must be in (0, 1], got {hot_span}")
+        if not attributes:
+            raise ValueError("inserts need at least one attribute")
+        self.base = base
+        self.insert_fraction = insert_fraction
+        self.attributes = tuple(attributes)
+        self.domain = domain
+        self.span = max(1, int(domain * hot_span))
+        self.maintainer = maintainer
+        self.relation = (relation if relation is not None
+                         else getattr(base, "relation", "R"))
+        self.inserts_issued = 0
+
+    def __call__(self, rng):
+        if rng.random() < self.insert_fraction:
+            values = {attr: rng.randrange(self.span)
+                      for attr in self.attributes}
+            self.inserts_issued += 1
+            if self.maintainer is not None:
+                self.maintainer.note_insert(values)
+            return "INSERT", self.relation, values
+        return self.base(rng)
+
+
+class OnlineGridMaintainer:
+    """Incremental grid-directory splits for a live MAGIC placement.
+
+    Tracks per-entry populations (base relation plus online inserts) and
+    splits the overflowing entry's slice when one exceeds ``capacity``.
+    The refreshed directory is swapped into the placement atomically
+    between queries; in-flight queries keep the routing decision they
+    were planned with.
+    """
+
+    def __init__(self, placement, capacity: Optional[int] = None):
+        directory = placement.directory
+        self.placement = placement
+        self.attributes = tuple(directory.attributes)
+        self._columns = [placement.relation.column(a)
+                         for a in self.attributes]
+        self._boundaries: List[List[int]] = [
+            [int(b) for b in dim_bounds]
+            for dim_bounds in directory.boundaries]
+        self._bins: List[np.ndarray] = [
+            np.searchsorted(np.asarray(bounds), column, side="left")
+            for bounds, column in zip(self._boundaries, self._columns)]
+        self._shape = list(directory.shape)
+        self._splits_done = [0] * len(self.attributes)
+        #: Values of every online insert, one row per insert.
+        self._inserted: List[Dict[str, int]] = []
+        self._counts = self._recount()
+        if capacity is None:
+            capacity = max(int(self._counts.max()) + 4, 2)
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        self.capacity = capacity
+        self.inserts_seen = 0
+        self.splits_performed = 0
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _coord_of(self, values: Dict[str, int]) -> tuple:
+        return tuple(
+            int(np.searchsorted(np.asarray(self._boundaries[dim]),
+                                values[attr], side="left"))
+            for dim, attr in enumerate(self.attributes))
+
+    def _recount(self) -> np.ndarray:
+        counts = _counts_from_bins(self._bins, self._shape)
+        for values in self._inserted:
+            counts[self._coord_of(values)] += 1
+        return counts
+
+    # -- the online path ---------------------------------------------------
+
+    def note_insert(self, values: Dict[str, int]) -> None:
+        """Record one inserted tuple; split its entry if it overflows."""
+        missing = [a for a in self.attributes if a not in values]
+        if missing:
+            raise KeyError(f"insert is missing grid attributes {missing}")
+        self.inserts_seen += 1
+        self._inserted.append({a: int(values[a]) for a in self.attributes})
+        coord = self._coord_of(values)
+        self._counts[coord] += 1
+        if self._counts[coord] > self.capacity:
+            self._split(coord)
+
+    def _split(self, coord: tuple) -> None:
+        # Values inside the overflowing entry: base tuples plus inserts.
+        mask = np.ones(len(self._columns[0]), dtype=bool)
+        for dim in range(len(self.attributes)):
+            mask &= self._bins[dim] == coord[dim]
+        inside_inserts = [v for v in self._inserted
+                         if self._coord_of(v) == coord]
+
+        # Same dimension ranking as the bulk builder with equal weights:
+        # the dimension with the fewest splits so far goes first.
+        ranked = sorted(range(len(self.attributes)),
+                        key=lambda d: self._splits_done[d])
+        for dim in ranked:
+            attr = self.attributes[dim]
+            inside = np.concatenate([
+                self._columns[dim][mask],
+                np.array([v[attr] for v in inside_inserts], dtype=np.int64),
+            ])
+            cut = split_cut(inside)
+            if cut is None:
+                continue  # all values equal along this dim
+            self._apply_split(dim, cut)
+            self.splits_performed += 1
+            return
+        # Entry is atomic (all values identical): leave it be.
+
+    def _apply_split(self, dim: int, cut: int) -> None:
+        bounds = self._boundaries[dim]
+        insert_at = int(np.searchsorted(np.asarray(bounds), cut,
+                                        side="left"))
+        bounds.insert(insert_at, int(cut))
+        self._splits_done[dim] += 1
+        self._shape[dim] += 1
+        self._bins[dim] = np.searchsorted(np.asarray(bounds),
+                                          self._columns[dim], side="left")
+        self._counts = self._recount()
+
+        # The new slice inherits its parent's assignment: a directory
+        # split moves no data, it only refines routing.
+        old = self.placement.directory
+        assignment = np.insert(old.assignment,
+                               insert_at,
+                               old.assignment.take(insert_at, axis=dim),
+                               axis=dim)
+        refreshed = GridDirectory(
+            self.attributes,
+            [np.asarray(b) for b in self._boundaries],
+            self._counts.copy())
+        refreshed.set_assignment(assignment)
+        self.placement.directory = refreshed
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "inserts_seen": self.inserts_seen,
+            "splits_performed": self.splits_performed,
+            "capacity": self.capacity,
+            "shape": list(self._shape),
+        }

@@ -1,0 +1,475 @@
+"""Elastic rescaling: grow ``num_sites`` with bounded data movement.
+
+A naive response to cluster growth re-runs the partitioner at P' sites
+and moves essentially every tuple (~``1 - 1/P'`` of the relation).  The
+remappers here move a *bounded* fraction instead, each with a provable
+per-style bound reported in the :class:`RescaleReport`:
+
+``split`` (range, BERD primary)
+    Repeatedly split the heaviest range interval at its median
+    (:func:`repro.core.gridfile.split_cut`) and hand the upper half to a
+    new site.  Each split moves at most half of the largest *original*
+    fragment, so ``moved <= (P' - P) * ceil(max_fragment / 2)``.
+    Interval ownership goes through an explicit owner table -- interval
+    position no longer equals site id after a rescale.
+
+``linear-hash`` (hash)
+    Classic linear hashing: sites ``0 .. P'-P-1`` split; a tuple on
+    split site ``s`` rehashes with ``h mod 2P`` and either stays at
+    ``s`` or moves to ``s + P``.  Only tuples on split sites can move,
+    so ``moved <= sum(|fragment_s| for split sites s)``.  Requires
+    ``P < P' <= 2P``.
+
+``entry-migration`` (MAGIC)
+    Greedy grid-entry moves from the heaviest site to the lightest
+    *new* site, re-using the incremental-weight machinery of
+    :func:`repro.core.rebalance.entry_exchange` and its
+    :class:`~repro.core.directory.SliceOwnerTracker` diversity guard.
+    Receivers are capped at ``target + max_entry`` tuples, so
+    ``moved <= (P' - P) * (total/P' + max_entry)``.
+
+BERD auxiliary relations are rebuilt in place for the new home map;
+the report counts base-relation tuples only (auxiliary entries are
+pointer pairs, orders of magnitude smaller than tuples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.berd import AuxiliaryIndex, BerdPlacement
+from ..core.directory import GridDirectory
+from ..core.gridfile import split_cut
+from ..core.hash_partition import _KNUTH, HashPlacement
+from ..core.magic import MagicPlacement, materialize_fragments
+from ..core.range_partition import RangePlacement
+from ..core.strategy import (
+    Placement,
+    RangePredicate,
+    RoutingDecision,
+    sites_for_interval,
+)
+
+__all__ = [
+    "RescaleReport",
+    "RescaledRangePlacement",
+    "RescaledBerdPlacement",
+    "RescaledHashPlacement",
+    "rescale_placement",
+    "placement_sites",
+]
+
+
+@dataclass(frozen=True)
+class RescaleReport:
+    """What an elastic rescale P -> P' cost and promised."""
+
+    strategy: str
+    style: str
+    old_sites: int
+    new_sites: int
+    total_tuples: int
+    tuples_moved: int
+    #: Provable a-priori bound on ``tuples_moved`` for this style.
+    movement_bound: int
+
+    def __post_init__(self) -> None:
+        if self.tuples_moved > self.movement_bound:
+            raise AssertionError(
+                f"remapper moved {self.tuples_moved} tuples, above its "
+                f"own bound {self.movement_bound}")
+
+    @property
+    def moved_fraction(self) -> float:
+        return (self.tuples_moved / self.total_tuples
+                if self.total_tuples else 0.0)
+
+    @property
+    def naive_fraction(self) -> float:
+        """Fraction a naive re-partition would move in expectation."""
+        return 1.0 - 1.0 / self.new_sites
+
+    def to_json_dict(self) -> Dict:
+        return {
+            "strategy": self.strategy,
+            "style": self.style,
+            "old_sites": self.old_sites,
+            "new_sites": self.new_sites,
+            "total_tuples": self.total_tuples,
+            "tuples_moved": self.tuples_moved,
+            "movement_bound": self.movement_bound,
+            "moved_fraction": self.moved_fraction,
+            "naive_fraction": self.naive_fraction,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict) -> "RescaleReport":
+        return cls(strategy=payload["strategy"], style=payload["style"],
+                   old_sites=payload["old_sites"],
+                   new_sites=payload["new_sites"],
+                   total_tuples=payload["total_tuples"],
+                   tuples_moved=payload["tuples_moved"],
+                   movement_bound=payload["movement_bound"])
+
+
+def placement_sites(placement: Placement) -> np.ndarray:
+    """Per-tuple home site, reconstructed from the fragments."""
+    sites = np.empty(placement.relation.cardinality, dtype=np.int64)
+    for fragment in placement.fragments:
+        sites[fragment.rows] = fragment.site
+    return sites
+
+
+def _fragments_from_sites(relation, site_of_tuple: np.ndarray,
+                          num_sites: int):
+    order = np.argsort(site_of_tuple, kind="stable")
+    starts = np.searchsorted(site_of_tuple[order],
+                             np.arange(num_sites + 1))
+    return [
+        relation.fragment(order[starts[site]:starts[site + 1]], site=site)
+        for site in range(num_sites)
+    ]
+
+
+# -- range / BERD: interval splitting -----------------------------------------
+
+
+class RescaledRangePlacement(RangePlacement):
+    """A range placement after elastic growth: interval -> owner table.
+
+    After splits there are more intervals than the original ``P`` and
+    interval position no longer equals site id, so routing goes through
+    ``interval_owners``.
+    """
+
+    def __init__(self, relation, fragments, attribute: str,
+                 boundaries: np.ndarray, interval_owners: np.ndarray):
+        super().__init__(relation, fragments, attribute, boundaries)
+        self.interval_owners = np.asarray(interval_owners, dtype=np.int64)
+
+    def route(self, predicate: RangePredicate) -> RoutingDecision:
+        if predicate.attribute != self.attribute:
+            return RoutingDecision(
+                target_sites=tuple(range(self.num_sites)),
+                used_partitioning=False)
+        intervals = sites_for_interval(self.boundaries, predicate.low,
+                                       predicate.high)
+        owners = sorted({int(self.interval_owners[i]) for i in intervals})
+        return RoutingDecision(target_sites=tuple(owners))
+
+    def site_for_tuple(self, values) -> int:
+        interval = super().site_for_tuple(values)
+        return int(self.interval_owners[interval])
+
+    def describe(self) -> str:
+        return (f"rescaled range on {self.attribute!r}: {self.num_sites} "
+                f"sites over {len(self.interval_owners)} intervals")
+
+
+class RescaledBerdPlacement(BerdPlacement):
+    """A BERD placement after elastic growth of the primary ranges."""
+
+    def __init__(self, relation, fragments, primary: str,
+                 primary_boundaries: np.ndarray,
+                 auxiliaries: Dict[str, AuxiliaryIndex],
+                 interval_owners: np.ndarray):
+        super().__init__(relation, fragments, primary, primary_boundaries,
+                         auxiliaries)
+        self.interval_owners = np.asarray(interval_owners, dtype=np.int64)
+
+    def route(self, predicate: RangePredicate) -> RoutingDecision:
+        if predicate.attribute == self.primary:
+            intervals = sites_for_interval(
+                self.primary_boundaries, predicate.low, predicate.high)
+            owners = sorted({int(self.interval_owners[i])
+                             for i in intervals})
+            return RoutingDecision(target_sites=tuple(owners))
+        # Secondary attributes: the auxiliaries were rebuilt with the
+        # post-rescale home map, so the base two-phase path is correct.
+        return super().route(predicate)
+
+    def site_for_tuple(self, values) -> int:
+        interval = int(np.searchsorted(self.primary_boundaries,
+                                       values[self.primary], side="left"))
+        return int(self.interval_owners[interval])
+
+    def describe(self) -> str:
+        return (f"rescaled {super().describe()} over "
+                f"{len(self.interval_owners)} intervals")
+
+
+def _split_intervals(values: np.ndarray, boundaries: np.ndarray,
+                     interval_owners: np.ndarray, new_sites: int):
+    """Grow a range partitioning by median splits of the heaviest interval.
+
+    Returns ``(boundaries, owners, movement_bound)``; each new site is
+    carved out of the then-heaviest interval, whose upper half it takes.
+    """
+    ordered = np.sort(values)
+    bounds: List[int] = [int(b) for b in boundaries]
+    owners: List[int] = [int(o) for o in interval_owners]
+    # ends[i]: one past the last ordered value of interval i.
+    ends: List[int] = [int(np.searchsorted(ordered, b, side="right"))
+                       for b in bounds] + [len(ordered)]
+    sizes = [end - (ends[i - 1] if i else 0)
+             for i, end in enumerate(ends)]
+    per_split_cap = (max(sizes) + 1) // 2
+    old_sites = max(owners) + 1
+    for new_site in range(old_sites, new_sites):
+        candidates = sorted(range(len(ends)), key=lambda i: -sizes[i])
+        done = False
+        for i in candidates:
+            if sizes[i] < 2:
+                break  # nothing splittable remains
+            start = ends[i - 1] if i else 0
+            cut = split_cut(ordered[start:ends[i]])
+            if cut is None:
+                continue  # constant values in this interval
+            mid = int(np.searchsorted(ordered, cut, side="right"))
+            bounds.insert(i, int(cut))
+            ends.insert(i, mid)
+            owners.insert(i + 1, new_site)
+            upper = sizes[i] - (mid - start)
+            sizes[i:i + 1] = [mid - start, upper]
+            done = True
+            break
+        if not done:
+            raise ValueError(
+                f"cannot grow to {new_sites} sites: the data has too few "
+                f"distinct values to split further")
+    bound = (new_sites - old_sites) * per_split_cap
+    return (np.array(bounds, dtype=np.int64),
+            np.array(owners, dtype=np.int64), bound)
+
+
+def _rescale_range(placement: RangePlacement, new_sites: int):
+    relation = placement.relation
+    values = relation.column(placement.attribute)
+    old_owners = getattr(placement, "interval_owners",
+                         np.arange(placement.num_sites, dtype=np.int64))
+    boundaries, owners, bound = _split_intervals(
+        values, placement.boundaries, old_owners, new_sites)
+    site_of_tuple = owners[np.searchsorted(boundaries, values, side="left")]
+    fragments = _fragments_from_sites(relation, site_of_tuple, new_sites)
+    rescaled = RescaledRangePlacement(relation, fragments,
+                                      placement.attribute, boundaries,
+                                      owners)
+    return rescaled, bound
+
+
+def _rescale_berd(placement: BerdPlacement, new_sites: int):
+    relation = placement.relation
+    values = relation.column(placement.primary)
+    old_owners = getattr(placement, "interval_owners",
+                         np.arange(placement.num_sites, dtype=np.int64))
+    boundaries, owners, bound = _split_intervals(
+        values, placement.primary_boundaries, old_owners, new_sites)
+    site_of_tuple = owners[np.searchsorted(boundaries, values, side="left")]
+    fragments = _fragments_from_sites(relation, site_of_tuple, new_sites)
+    auxiliaries = {
+        attr: AuxiliaryIndex(attr, relation.column(attr), site_of_tuple,
+                             new_sites)
+        for attr in placement.auxiliaries
+    }
+    rescaled = RescaledBerdPlacement(relation, fragments, placement.primary,
+                                     boundaries, auxiliaries, owners)
+    return rescaled, bound
+
+
+# -- hash: linear hashing -----------------------------------------------------
+
+
+def _linear_hash_sites(values: np.ndarray, old_sites: int,
+                       new_sites: int) -> np.ndarray:
+    """Linear-hashing home sites after growing old_sites -> new_sites."""
+    scrambled = (values.astype(np.uint64) * np.uint64(_KNUTH)) & np.uint64(
+        0xFFFFFFFF)
+    base = (scrambled % np.uint64(old_sites)).astype(np.int64)
+    rehashed = (scrambled % np.uint64(2 * old_sites)).astype(np.int64)
+    # Split sites 0 .. new-old-1: their tuples rehash mod 2P and land on
+    # either s or s + P (s + P < new' exactly when s is a split site).
+    return np.where(base < new_sites - old_sites, rehashed, base)
+
+
+class RescaledHashPlacement(HashPlacement):
+    """A hash placement after linear-hashing growth P -> P' (<= 2P)."""
+
+    def __init__(self, relation, fragments, attribute: str, old_sites: int):
+        super().__init__(relation, fragments, attribute)
+        self.old_sites = old_sites
+
+    def route(self, predicate: RangePredicate) -> RoutingDecision:
+        if predicate.attribute == self.attribute and predicate.is_equality:
+            site = int(_linear_hash_sites(
+                np.array([predicate.low]), self.old_sites,
+                self.num_sites)[0])
+            return RoutingDecision(target_sites=(site,))
+        return RoutingDecision(
+            target_sites=tuple(range(self.num_sites)),
+            used_partitioning=False)
+
+    def site_for_tuple(self, values) -> int:
+        try:
+            value = values[self.attribute]
+        except KeyError:
+            raise KeyError(
+                f"insert needs the partitioning attribute "
+                f"{self.attribute!r}") from None
+        return int(_linear_hash_sites(np.array([value]), self.old_sites,
+                                      self.num_sites)[0])
+
+    def describe(self) -> str:
+        return (f"linear-hash on {self.attribute!r}: {self.old_sites} -> "
+                f"{self.num_sites} sites")
+
+
+def _rescale_hash(placement: HashPlacement, new_sites: int):
+    if isinstance(placement, RescaledHashPlacement):
+        raise NotImplementedError(
+            "chained hash rescaling is not supported; rescale from the "
+            "original placement")
+    old_sites = placement.num_sites
+    if new_sites > 2 * old_sites:
+        raise ValueError(
+            f"linear hashing grows at most 2x per rescale "
+            f"({old_sites} -> {new_sites} requested)")
+    relation = placement.relation
+    values = relation.column(placement.attribute)
+    site_of_tuple = _linear_hash_sites(values, old_sites, new_sites)
+    fragments = _fragments_from_sites(relation, site_of_tuple, new_sites)
+    rescaled = RescaledHashPlacement(relation, fragments,
+                                     placement.attribute, old_sites)
+    # Only tuples on split sites can move.
+    split_sites = new_sites - old_sites
+    bound = int(sum(placement.fragments[s].cardinality
+                    for s in range(split_sites)))
+    return rescaled, bound
+
+
+# -- MAGIC: grid-entry migration ----------------------------------------------
+
+
+def _rescale_magic(placement: MagicPlacement, new_sites: int,
+                   diversity_slack: Optional[int] = 2,
+                   max_moves: int = 200_000):
+    old = placement.directory
+    old_sites = placement.num_sites
+    directory = GridDirectory(old.attributes,
+                              [np.asarray(b) for b in old.boundaries],
+                              old.counts.copy())
+    assignment = old.assignment.copy()
+    directory.set_assignment(assignment)
+
+    flat_assignment = assignment.ravel()
+    entry_weights = directory.counts.ravel().astype(np.int64)
+    weights = np.bincount(flat_assignment, weights=entry_weights,
+                          minlength=new_sites).astype(np.int64)
+    total = int(entry_weights.sum())
+    target = total / new_sites
+    max_entry = int(entry_weights.max()) if entry_weights.size else 0
+    receiver_cap = target + max_entry
+
+    trackers = []
+    if directory.ndim == 2 and diversity_slack is not None:
+        for dim, attribute in enumerate(directory.attributes):
+            tracker = directory.owner_tracker(attribute, new_sites)
+            caps = tracker.distinct_counts() + diversity_slack
+            trackers.append((dim, tracker, caps))
+
+    shape = directory.shape
+    coords = None
+    if directory.ndim == 2:
+        flat_index = np.arange(entry_weights.size)
+        coords = [flat_index // shape[1], flat_index % shape[1]]
+
+    fresh = np.arange(old_sites, new_sites)
+    for _ in range(max_moves):
+        light = int(fresh[np.argmin(weights[old_sites:new_sites])])
+        heavy = int(np.argmax(weights))
+        gap = int(weights[heavy] - weights[light])
+        if gap <= 1 or heavy == light:
+            break
+        candidate_mask = (flat_assignment == heavy) & (entry_weights > 0) \
+            & (entry_weights <= gap) \
+            & (weights[light] + entry_weights <= receiver_cap)
+        candidates = np.nonzero(candidate_mask)[0]
+        if candidates.size == 0:
+            break
+        if trackers:
+            ok = np.ones(candidates.size, dtype=bool)
+            for dim, tracker, caps in trackers:
+                slice_idx = coords[dim][candidates]
+                ok &= tracker.distinct_with(slice_idx, light) <= \
+                    caps[slice_idx]
+            if ok.any():
+                candidates = candidates[ok]
+            # else: relax the diversity guard rather than leave the new
+            # site starved -- balance beats fan-out during growth.
+        w = entry_weights[candidates]
+        chosen = int(candidates[np.argmin(np.abs(gap - 2 * w))])
+        moved_w = int(entry_weights[chosen])
+        flat_assignment[chosen] = light
+        weights[heavy] -= moved_w
+        weights[light] += moved_w
+        if trackers:
+            for dim, tracker, _caps in trackers:
+                tracker.move(int(coords[dim][chosen]), heavy, light)
+
+    directory.set_assignment(flat_assignment.reshape(shape))
+    fragments = materialize_fragments(placement.relation, directory,
+                                      new_sites)
+    rescaled = MagicPlacement(placement.relation, fragments, directory,
+                              slice_targets=placement.slice_targets,
+                              mi=placement.mi)
+    bound = int((new_sites - old_sites) * receiver_cap) + 1
+    return rescaled, bound
+
+
+# -- the public entry point ---------------------------------------------------
+
+
+def rescale_placement(placement: Placement, new_num_sites: int, *,
+                      diversity_slack: Optional[int] = 2,
+                      max_moves: int = 200_000
+                      ) -> Tuple[Placement, RescaleReport]:
+    """Grow a placement to ``new_num_sites`` with bounded data movement.
+
+    Returns the rescaled placement plus a :class:`RescaleReport` whose
+    ``tuples_moved`` is measured tuple-by-tuple against the original
+    placement and checked against the style's a-priori bound.
+    """
+    old_sites = placement.num_sites
+    if new_num_sites <= old_sites:
+        raise ValueError(
+            f"rescale must grow the machine: {old_sites} -> "
+            f"{new_num_sites}")
+
+    before = placement_sites(placement)
+    if isinstance(placement, MagicPlacement):
+        strategy, style = "magic", "entry-migration"
+        rescaled, bound = _rescale_magic(placement, new_num_sites,
+                                         diversity_slack=diversity_slack,
+                                         max_moves=max_moves)
+    elif isinstance(placement, BerdPlacement):
+        strategy, style = "berd", "split"
+        rescaled, bound = _rescale_berd(placement, new_num_sites)
+    elif isinstance(placement, HashPlacement):
+        strategy, style = "hash", "linear-hash"
+        rescaled, bound = _rescale_hash(placement, new_num_sites)
+    elif isinstance(placement, RangePlacement):
+        strategy, style = "range", "split"
+        rescaled, bound = _rescale_range(placement, new_num_sites)
+    else:
+        raise TypeError(
+            f"no rescale style for {type(placement).__name__}")
+
+    after = placement_sites(rescaled)
+    moved = int(np.count_nonzero(before != after))
+    report = RescaleReport(strategy=strategy, style=style,
+                           old_sites=old_sites, new_sites=new_num_sites,
+                           total_tuples=int(len(before)),
+                           tuples_moved=moved, movement_bound=int(bound))
+    return rescaled, report

@@ -166,6 +166,29 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scaleup-mpl", type=int, default=8,
                         help="multiprogramming level for --scaleup "
                              "(default: 8)")
+    parser.add_argument("--dynamics", action="store_true",
+                        help="run the dynamics scenarios: per-strategy "
+                             "baseline, mid-run site failure (p99 "
+                             "degradation), elastic rescale with audit "
+                             "before/after, and online-insert churn "
+                             "with live MAGIC grid splits (see "
+                             "docs/dynamics.md)")
+    parser.add_argument("--dynamics-figure", default="8a",
+                        choices=sorted(FIGURES),
+                        help="figure config the dynamics run is based "
+                             "on (default: 8a)")
+    parser.add_argument("--dynamics-scenarios", metavar="S1,S2,...",
+                        help="comma-separated subset of "
+                             "failure,rescale,churn (default: all)")
+    parser.add_argument("--dynamics-strategies", metavar="N1,N2,...",
+                        help="comma-separated subset of "
+                             "range,hash,berd,magic (default: all)")
+    parser.add_argument("--dynamics-grow-to", type=int, default=64,
+                        help="machine size the rescale scenario grows "
+                             "to (default: 64)")
+    parser.add_argument("--dynamics-mpl", type=int, default=8,
+                        help="multiprogramming level for --dynamics "
+                             "(default: 8)")
     parser.add_argument("--report", metavar="DIR",
                         help="render a markdown report from figure_*.json "
                              "files previously saved with --save-json")
@@ -400,6 +423,65 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 f"scaleup_{result.figure}.json")
             with open(path, "w") as handle:
                 json.dump(result.to_json_dict(), handle, indent=1)
+            out.append(f"(saved {path})")
+        did_something = True
+    if args.dynamics:
+        from ..dynamics import run_dynamics
+        from .results_io import save_figure_json
+
+        scenarios = (tuple(args.dynamics_scenarios.split(","))
+                     if args.dynamics_scenarios else None)
+        strategies = (tuple(args.dynamics_strategies.split(","))
+                      if args.dynamics_strategies else None)
+        result = run_dynamics(
+            args.dynamics_figure,
+            strategies=strategies, scenarios=scenarios,
+            cardinality=(min(args.cardinality, 20_000) if args.quick
+                         else args.cardinality),
+            num_sites=args.num_sites, grow_to=args.dynamics_grow_to,
+            multiprogramming_level=args.dynamics_mpl,
+            measured_queries=(QUICK_MEASURED if args.quick
+                              else args.measured),
+            seed=args.seed, check_invariants=args.check_invariants,
+            progress=lambda line: print(f"  {line}", file=sys.stderr))
+        dyn = result.dynamics
+        out.append(f"Dynamics (figure {dyn['figure']}, "
+                   f"{dyn['num_sites']} sites, MPL "
+                   f"{dyn['multiprogramming_level']}, scenarios "
+                   f"{','.join(dyn['scenarios'])}):")
+        header = (f"{'strategy':>10}{'base q/s':>10}{'fail q/s':>10}"
+                  f"{'p99 x':>8}{'moved%':>8}{'grow q/s':>10}"
+                  f"{'splits':>8}")
+        out.append(header)
+        for name, payload in dyn["per_strategy"].items():
+            base = payload["baseline"]["throughput"]
+            row = f"{name:>10}{base:10.1f}"
+            failure = payload.get("failure")
+            if failure:
+                worst = max((d for d in failure["p99_degradation"].values()
+                             if d is not None), default=float("nan"))
+                row += f"{failure['throughput']:10.1f}{worst:8.2f}"
+            else:
+                row += f"{'-':>10}{'-':>8}"
+            rescale = payload.get("rescale")
+            if rescale:
+                moved = (100.0 * rescale["report"]["tuples_moved"]
+                         / rescale["report"]["total_tuples"])
+                row += f"{moved:8.1f}{rescale['throughput_after']:10.1f}"
+            else:
+                row += f"{'-':>8}{'-':>10}"
+            churn = payload.get("churn")
+            if churn and churn.get("maintainer"):
+                row += f"{churn['maintainer']['splits_performed']:8d}"
+            else:
+                row += f"{'-':>8}"
+            out.append(row)
+        if args.save_json:
+            import os
+            os.makedirs(args.save_json, exist_ok=True)
+            path = os.path.join(args.save_json,
+                                f"dynamics_{dyn['figure']}.json")
+            save_figure_json(result, path)
             out.append(f"(saved {path})")
         did_something = True
     if args.explain:

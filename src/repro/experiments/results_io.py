@@ -69,6 +69,8 @@ def figure_to_dict(result: FigureResult) -> Dict:
         payload["phases"] = result.phases
     if result.latency is not None:
         payload["latency"] = result.latency
+    if result.dynamics is not None:
+        payload["dynamics"] = result.dynamics
     return payload
 
 
@@ -116,7 +118,12 @@ def figure_from_dict(payload: Dict) -> FigureResult:
         # Optional response-time distributions (absent in files saved
         # before the latency observatory, or with capture off); the
         # embedded sketches let repro-latency re-derive any quantile.
-        latency=payload.get("latency"))
+        latency=payload.get("latency"),
+        # Optional dynamics-scenario payload (absent in every static
+        # figure file; present only for --dynamics runs); carries the
+        # fault seed and fault plan so a degradation curve is
+        # replayable from the artifact alone.
+        dynamics=payload.get("dynamics"))
     for name, runs in payload["series"].items():
         result.series[name] = [RunResult.from_json_dict(run)
                                for run in runs]

@@ -84,6 +84,12 @@ class FigureResult:
     #: p50/p95/p99/max plus the full mergeable sketches.  None unless
     #: latency capture was on; round-trips through results-v2 JSON.
     latency: Optional[Dict] = None
+    #: Dynamics-scenario payload (see
+    #: :func:`~repro.dynamics.runner.run_dynamics`): per-strategy
+    #: baseline/failure/rescale/churn results, including the fault seed
+    #: and full fault plan for replay.  None on static figures;
+    #: round-trips through results-v2 JSON.
+    dynamics: Optional[Dict] = None
 
     def throughput_at(self, strategy: str, mpl: int) -> float:
         for result in self.series[strategy]:

@@ -75,7 +75,7 @@ class GammaMachine:
     def __init__(self, placement: Placement, indexes: Dict[str, bool],
                  params: SimulationParameters = GAMMA_PARAMETERS,
                  seed: int = 0, telemetry: Optional[Telemetry] = None,
-                 invariants=None):
+                 invariants=None, fault_plan=None):
         if placement.num_sites != params.num_processors:
             params = params.with_overrides(
                 num_processors=placement.num_sites)
@@ -94,10 +94,18 @@ class GammaMachine:
                                invariants=invariants)
         self.catalog = SystemCatalog(params)
 
+        self.faults = None
+        if fault_plan is not None:
+            # Imported lazily: repro.dynamics depends on repro.gamma, so
+            # a module-level import here would be circular.
+            from ..dynamics.faults import FaultController
+            self.faults = FaultController(self.env, fault_plan)
+
         self.nodes: List[OperatorNode] = [
             OperatorNode(self.env, node_id, params, self.network,
                          self.catalog, seed=seed * 1000 + node_id,
-                         telemetry=self.telemetry, invariants=invariants)
+                         telemetry=self.telemetry, invariants=invariants,
+                         faults=self.faults)
             for node_id in range(placement.num_sites)
         ]
         self.scheduler_node_id = placement.num_sites
@@ -109,7 +117,10 @@ class GammaMachine:
         self.scheduler = QueryScheduler(
             self.env, params, self.scheduler_node_id, scheduler_endpoint,
             self.network, self.catalog, telemetry=self.telemetry,
-            invariants=invariants)
+            invariants=invariants, faults=self.faults)
+        if self.faults is not None:
+            self.faults.bind_scheduler(scheduler_endpoint.mailbox.put)
+            self.faults.start()
         if invariants is not None:
             invariants.watch_resource("sched.cpu",
                                       lambda: self.scheduler_cpu.busy_seconds)

@@ -20,6 +20,7 @@ __all__ = [
     "AuxInsertRequest",
     "ResultPacket",
     "OperatorDone",
+    "OperatorAbort",
 ]
 
 
@@ -114,3 +115,20 @@ class OperatorDone:
     query_id: int
     site: int
     tuples_returned: int
+
+
+@dataclass(frozen=True, slots=True)
+class OperatorAbort:
+    """Failure notice: an operator request died at a failed site.
+
+    Unlike every other message this does not travel the network: it
+    models the *scheduler's* failure-detection timeout firing, so the
+    fault controller materializes it in the scheduler's mailbox after
+    ``detection_seconds`` without charging the dead node's CPU or NIC
+    (a dead node sends nothing).  ``kind`` names the phase that was
+    lost: ``"select"``, ``"probe"`` or ``"insert"``.
+    """
+
+    query_id: int
+    site: int
+    kind: str

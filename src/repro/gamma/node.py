@@ -26,7 +26,7 @@ class OperatorNode:
     def __init__(self, env: Environment, node_id: int,
                  params: SimulationParameters, network: Network,
                  catalog: SystemCatalog, seed: int = 0,
-                 telemetry=NULL_TELEMETRY, invariants=None):
+                 telemetry=NULL_TELEMETRY, invariants=None, faults=None):
         self.node_id = node_id
         self.cpu = Cpu(env, params, name=f"cpu{node_id}")
         self.disk = Disk(env, params, self.cpu, seed=seed,
@@ -39,7 +39,8 @@ class OperatorNode:
         self.operator_manager = OperatorManager(
             env, node_id, params, self.cpu, self.disk, self.endpoint,
             network, catalog, seed=seed + 1,
-            buffer_pool=self.buffer_pool, telemetry=telemetry)
+            buffer_pool=self.buffer_pool, telemetry=telemetry,
+            faults=faults)
         if invariants is not None:
             # Register this node's resources for the end-of-run busy-time
             # and buffer conservation audit (pure bookkeeping: the node's

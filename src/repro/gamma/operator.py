@@ -56,8 +56,11 @@ class OperatorManager:
                  params: SimulationParameters, cpu: Cpu, disk: Disk,
                  endpoint: NetworkEndpoint, network: Network,
                  catalog: SystemCatalog, seed: int = 0,
-                 buffer_pool=None, telemetry=NULL_TELEMETRY):
+                 buffer_pool=None, telemetry=NULL_TELEMETRY, faults=None):
         self.telemetry = telemetry
+        # Optional FaultController (repro.dynamics.faults); None on the
+        # static path, so every check below short-circuits.
+        self.faults = faults
         self.env = env
         self.node_id = node_id
         self.params = params
@@ -90,6 +93,13 @@ class OperatorManager:
     def _dispatch_loop(self):
         while True:
             message = yield self.endpoint.mailbox.get()
+            if (self.faults is not None
+                    and not isinstance(message, tuple)
+                    and self.faults.is_down(self.node_id)):
+                # The site is dead: the request is lost and the
+                # scheduler's detection timeout will surface an abort.
+                self.faults.abort_request(message, self.node_id)
+                continue
             if isinstance(message, SelectRequest):
                 self.env.process(self._execute_select(message))
             elif isinstance(message, ProbeRequest):
@@ -274,6 +284,14 @@ class OperatorManager:
                 plan.tuples_returned
                 * self.params.instructions_per_result_tuple, span=span)
 
+        # A site that died while the operator was reading ships nothing:
+        # the work in flight is lost with it.
+        if self.faults is not None and self.faults.is_down(self.node_id):
+            self.faults.abort_request(request, self.node_id)
+            if trace:
+                trace.finish(span, tuples=0)
+            return
+
         # Ship the results to the submitting host, a packet at a time,
         # then report completion to the scheduler.
         remaining = plan.tuples_returned
@@ -329,6 +347,11 @@ class OperatorManager:
                                     span=span)
         yield from self.cpu.execute(
             index_count * self.params.index_update_instructions, span=span)
+        if self.faults is not None and self.faults.is_down(self.node_id):
+            self.faults.abort_request(request, self.node_id)
+            if trace:
+                trace.finish(span)
+            return
         yield from self.network.deliver(
             self.node_id, request.reply_to,
             self.params.control_message_bytes,
@@ -375,6 +398,11 @@ class OperatorManager:
                 plan.tuples_examined
                 * self.params.instructions_per_index_entry, span=span)
 
+        if self.faults is not None and self.faults.is_down(self.node_id):
+            self.faults.abort_request(request, self.node_id)
+            if trace:
+                trace.finish(span)
+            return
         self.probes_executed += 1
         self._probes_counter.inc()
         yield from self.network.deliver(

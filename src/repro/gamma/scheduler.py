@@ -30,6 +30,7 @@ from .catalog import SystemCatalog
 from .messages import (
     AuxInsertRequest,
     InsertRequest,
+    OperatorAbort,
     OperatorDone,
     ProbeReply,
     ProbeRequest,
@@ -57,6 +58,18 @@ class QueryHandle:
     sites_used: int = 0
     #: Span tree of this query (None unless telemetry tracing is on).
     trace: Optional[object] = None
+    #: Fault-injection bookkeeping (all untouched on the static path).
+    #: Sites whose select/insert work aborted and is not yet resolved.
+    failed_sites: list = field(default_factory=list)
+    #: At most one retry round per query (guarantees exactly-once
+    #: termination even under repeated failures).
+    retried: bool = False
+    #: True once any part of the answer was lost (unrecovered abort or
+    #: an aborted probe phase).
+    degraded: bool = False
+    #: What _run_query dispatched, kept only when faults are active so
+    #: the scheduler can re-issue selects to recovered sites.
+    retry_ctx: Optional[Tuple] = None
 
 
 class QueryScheduler:
@@ -65,8 +78,11 @@ class QueryScheduler:
     def __init__(self, env: Environment, params: SimulationParameters,
                  node_id: int, endpoint: NetworkEndpoint, network: Network,
                  catalog: SystemCatalog, telemetry=NULL_TELEMETRY,
-                 invariants=None):
+                 invariants=None, faults=None):
         self.env = env
+        # Optional FaultController (repro.dynamics.faults); None on the
+        # static path.
+        self.faults = faults
         self.params = params
         self.node_id = node_id
         self.endpoint = endpoint
@@ -222,6 +238,9 @@ class QueryScheduler:
             clustered = self.catalog.entry(relation).indexes.get(
                 predicate.attribute, False)
             handle.pending_done = len(targets)
+            if self.faults is not None:
+                handle.retry_ctx = (relation, predicate.attribute,
+                                    clustered, counts, position)
             dispatch_span = trace.start(
                 "dispatch", sites=len(targets)) if trace else None
             yield from self.network.multicast(
@@ -244,6 +263,8 @@ class QueryScheduler:
 
     def _finish(self, handle: QueryHandle) -> None:
         del self._queries[handle.query_id]
+        if handle.degraded and self.faults is not None:
+            self.faults.degraded_queries += 1
         self._completed_counter.inc()
         if self.invariants is not None:
             self.invariants.on_query_terminated(handle.query_id,
@@ -251,6 +272,51 @@ class QueryScheduler:
         if handle.trace is not None:
             self.telemetry.end_query(handle.query_id)
         handle.completion.succeed(handle)
+
+    # -- fault handling ----------------------------------------------------
+
+    def _settle_failed(self, handle: QueryHandle) -> None:
+        """All outstanding work resolved, but some sites aborted.
+
+        If any failed site has recovered by detection time and this
+        query has not yet retried, re-dispatch the lost selects there
+        (one retry round, after a short backoff).  Sites still down --
+        and any query without a retryable context (inserts) -- degrade:
+        the query completes with that part of the answer missing.
+        """
+        faults = self.faults
+        recovered = [s for s in handle.failed_sites
+                     if not faults.is_down(s)]
+        can_retry = (handle.retry_ctx is not None and recovered
+                     and not handle.retried)
+        if can_retry:
+            still_down = [s for s in handle.failed_sites
+                          if faults.is_down(s)]
+            if still_down:
+                handle.degraded = True
+            handle.retried = True
+            handle.failed_sites = []
+            handle.pending_done = len(recovered)
+            faults.retries += 1
+            self.env.process(self._retry_selects(handle, recovered))
+        else:
+            handle.degraded = True
+            self._finish(handle)
+
+    def _retry_selects(self, handle: QueryHandle, sites):
+        if self.faults.plan.retry_backoff_seconds > 0:
+            yield self.faults.plan.retry_backoff_seconds
+        relation, attribute, clustered, counts, position = handle.retry_ctx
+        yield from self.network.multicast(
+            self.node_id,
+            [(site, SelectRequest(query_id=handle.query_id, site=site,
+                                  relation=relation, attribute=attribute,
+                                  clustered_index=clustered,
+                                  matches=int(counts[site]),
+                                  reply_to=self.node_id,
+                                  position=position))
+             for site in sites],
+            self.params.control_message_bytes)
 
     # -- incoming messages -------------------------------------------------------
 
@@ -268,7 +334,23 @@ class QueryScheduler:
                 handle.tuples_returned += message.tuples_returned
                 handle.pending_done -= 1
                 if handle.pending_done == 0:
-                    self._finish(handle)
+                    if handle.failed_sites:
+                        self._settle_failed(handle)
+                    else:
+                        self._finish(handle)
+            elif isinstance(message, OperatorAbort):
+                if message.kind == "probe":
+                    # The probe phase degrades rather than retries: the
+                    # auxiliary answer for that site is simply missing.
+                    handle.degraded = True
+                    handle.pending_probes -= 1
+                    if handle.pending_probes == 0:
+                        handle.probes_complete.succeed()
+                else:
+                    handle.failed_sites.append(message.site)
+                    handle.pending_done -= 1
+                    if handle.pending_done == 0:
+                        self._settle_failed(handle)
             elif isinstance(message, ResultPacket):
                 pass  # delivery costs already charged by the network
             else:

@@ -51,7 +51,14 @@ class TerminalPool:
         while True:
             query_type, relation, predicate = self.source(rng)
             submitted = self.env.now
-            handle = self.scheduler.submit(relation, query_type, predicate)
+            if isinstance(predicate, dict):
+                # Mutation sources (repro.dynamics.mutations) yield a
+                # values dict instead of a predicate: an online insert.
+                handle = self.scheduler.submit_insert(relation, predicate,
+                                                      query_type=query_type)
+            else:
+                handle = self.scheduler.submit(relation, query_type,
+                                               predicate)
             yield handle.completion
             self.metrics.record_completion(query_type,
                                            self.env.now - submitted)

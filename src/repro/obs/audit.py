@@ -47,6 +47,7 @@ __all__ = [
     "slice_spreads",
     "fanout_stats",
     "audit_placement",
+    "audit_comparison",
     "audit_digest",
 ]
 
@@ -372,6 +373,53 @@ def audit_placement(placement: Placement, mix, strategy: str,
         fragment_skew=skew_stats(fragments),
         slice_spreads=slice_spreads(placement),
         fanouts=fanouts)
+
+
+def audit_comparison(before: PlacementAudit,
+                     after: PlacementAudit) -> Dict:
+    """Before/after skew and fan-out comparison of two audits.
+
+    Built for the elastic-rescale report: the skew deltas show what the
+    remapper's bounded movement bought in balance, the per-query-type
+    fan-out deltas what it cost (or saved) in processors touched per
+    query.  Deltas are ``after - before``; JSON-serializable.
+    """
+    def skew_block(b: SkewStats, a: SkewStats) -> Dict:
+        return {
+            "before": {"max_mean_ratio": round(b.max_mean_ratio, 6),
+                       "cv": round(b.cv, 6), "gini": round(b.gini, 6)},
+            "after": {"max_mean_ratio": round(a.max_mean_ratio, 6),
+                      "cv": round(a.cv, 6), "gini": round(a.gini, 6)},
+            "delta": {
+                "max_mean_ratio": round(a.max_mean_ratio
+                                        - b.max_mean_ratio, 6),
+                "cv": round(a.cv - b.cv, 6),
+                "gini": round(a.gini - b.gini, 6),
+            },
+        }
+
+    fanouts = {}
+    for name in sorted(set(before.fanouts) & set(after.fanouts)):
+        b, a = before.fanouts[name], after.fanouts[name]
+        fanouts[name] = {
+            "before": {"target_mean": round(b.target_mean, 4),
+                       "sites_mean": round(b.sites_mean, 4)},
+            "after": {"target_mean": round(a.target_mean, 4),
+                      "sites_mean": round(a.sites_mean, 4)},
+            "delta": {
+                "target_mean": round(a.target_mean - b.target_mean, 4),
+                "sites_mean": round(a.sites_mean - b.sites_mean, 4),
+            },
+        }
+    return {
+        "strategy": before.strategy,
+        "num_sites": {"before": before.num_sites,
+                      "after": after.num_sites},
+        "tuple_skew": skew_block(before.tuple_skew, after.tuple_skew),
+        "fragment_skew": skew_block(before.fragment_skew,
+                                    after.fragment_skew),
+        "fanouts": fanouts,
+    }
 
 
 def audit_digest(summaries: Mapping[str, Dict]) -> str:

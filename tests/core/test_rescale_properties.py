@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) for elastic rescaling.
+
+Three invariants hold for every strategy, relation and growth step:
+
+* ownership stays a partition -- after a rescale every tuple lives on
+  exactly one site, and every site id is within the new machine;
+* point queries route to the owner -- an equality predicate on the
+  partitioning attribute always targets the site that
+  ``site_for_tuple`` reports for a matching tuple;
+* movement respects the style's a-priori bound (and is always better
+  than the naive full re-partition).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BerdStrategy,
+    HashStrategy,
+    MagicStrategy,
+    MagicTuning,
+    RangePredicate,
+    RangeStrategy,
+)
+from repro.dynamics import rescale_placement
+from repro.dynamics.rescale import placement_sites
+from repro.storage import make_wisconsin
+
+ATTR_A = "unique1"
+ATTR_B = "unique2"
+
+
+def _build(strategy_name: str):
+    if strategy_name == "range":
+        return RangeStrategy(ATTR_A)
+    if strategy_name == "hash":
+        return HashStrategy(ATTR_A)
+    if strategy_name == "berd":
+        return BerdStrategy(ATTR_A, [ATTR_B])
+    return MagicStrategy(
+        (ATTR_A, ATTR_B),
+        tuning=MagicTuning(shape={ATTR_A: 10, ATTR_B: 10},
+                           mi={ATTR_A: 4.0, ATTR_B: 4.0}))
+
+
+grown_cases = st.tuples(
+    st.sampled_from(["range", "hash", "berd", "magic"]),
+    st.integers(min_value=400, max_value=1200),   # cardinality
+    st.sampled_from([4, 8, 16]),                  # old sites
+    st.integers(min_value=1, max_value=16),       # growth delta
+    st.integers(min_value=0, max_value=3),        # seed
+).filter(lambda c: c[2] + c[3] <= 2 * c[2])       # hash: P' <= 2P
+
+
+@given(case=grown_cases)
+@settings(max_examples=25, deadline=None)
+def test_rescale_keeps_ownership_a_partition(case):
+    name, cardinality, old_sites, delta, seed = case
+    relation = make_wisconsin(cardinality, seed=seed)
+    placement = _build(name).partition(relation, old_sites)
+    rescaled, report = rescale_placement(placement, old_sites + delta)
+
+    assert rescaled.num_sites == old_sites + delta
+    covered = np.concatenate([f.rows for f in rescaled.fragments])
+    assert len(covered) == cardinality
+    assert len(np.unique(covered)) == cardinality  # no tuple twice
+    sites = placement_sites(rescaled)
+    assert sites.min() >= 0 and sites.max() < old_sites + delta
+
+
+@given(case=grown_cases, probe=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_point_queries_route_to_the_owner(case, probe):
+    name, cardinality, old_sites, delta, seed = case
+    relation = make_wisconsin(cardinality, seed=seed)
+    placement = _build(name).partition(relation, old_sites)
+    rescaled, _ = rescale_placement(placement, old_sites + delta)
+
+    value = int(relation.column(ATTR_A)[probe % cardinality])
+    owner = rescaled.site_for_tuple({ATTR_A: value, ATTR_B: value})
+    decision = rescaled.route(RangePredicate(ATTR_A, value, value))
+    assert owner in decision.target_sites
+
+
+@given(case=grown_cases)
+@settings(max_examples=25, deadline=None)
+def test_movement_respects_the_style_bound(case):
+    name, cardinality, old_sites, delta, seed = case
+    relation = make_wisconsin(cardinality, seed=seed)
+    placement = _build(name).partition(relation, old_sites)
+    before = placement_sites(placement)
+    rescaled, report = rescale_placement(placement, old_sites + delta)
+
+    measured = int(np.count_nonzero(before != placement_sites(rescaled)))
+    assert report.tuples_moved == measured
+    assert report.tuples_moved <= report.movement_bound
+    # Strictly better than the naive full re-partition.
+    assert report.moved_fraction < report.naive_fraction
+
+
+def test_unique_owner_per_interval_after_rescale():
+    """Every rescaled range interval has exactly one owning site."""
+    relation = make_wisconsin(2000, seed=1)
+    placement = RangeStrategy(ATTR_A).partition(relation, 8)
+    rescaled, _ = rescale_placement(placement, 14)
+    owners = rescaled.interval_owners
+    assert len(owners) == len(rescaled.boundaries) + 1
+    # All 14 sites own at least one interval; each interval one owner.
+    assert set(int(o) for o in owners) == set(range(14))

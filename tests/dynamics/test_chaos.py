@@ -1,0 +1,95 @@
+"""Chaos harness: every figure config survives a mid-run site failure
+under the invariant checker -- and a deliberately leaky retry path is
+caught by it.
+
+The full figure sweep is in the slow conformance tier; tier-1 keeps a
+representative single-figure run so the fault machinery is exercised on
+every test run.
+"""
+
+import pytest
+
+from repro.core import RangeStrategy
+from repro.dynamics import FaultPlan, SiteFailure, run_dynamics
+from repro.experiments.config import FIGURES
+from repro.gamma import GAMMA_PARAMETERS, GammaMachine
+from repro.gamma.scheduler import QueryScheduler
+from repro.storage import make_wisconsin
+from repro.validation.invariants import InvariantChecker, InvariantViolation
+from repro.workload import make_mix
+
+INDEXES = {"unique1": False, "unique2": True}
+
+
+def test_all_strategies_survive_failure_under_invariants():
+    """The tier-1 acceptance run: all four strategies, one figure,
+    failure plus recovery, conservation laws checked throughout."""
+    result = run_dynamics("8a", scenarios=("failure",),
+                          cardinality=3000, num_sites=16,
+                          multiprogramming_level=4, measured_queries=30,
+                          check_invariants=True)
+    per_strategy = result.dynamics["per_strategy"]
+    assert set(per_strategy) == {"range", "hash", "berd", "magic"}
+    for name, payload in per_strategy.items():
+        failure = payload["failure"]
+        assert failure["stats"]["failures_injected"] == 1
+        # The latency observatory reported a p99 for every query type.
+        assert failure["p99_seconds"], name
+        assert failure["p99_degradation"], name
+
+
+@pytest.mark.conformance
+@pytest.mark.parametrize("figure", sorted(FIGURES))
+def test_every_figure_config_survives_failure(figure):
+    result = run_dynamics(figure, scenarios=("failure",),
+                          cardinality=3000, num_sites=16,
+                          multiprogramming_level=4, measured_queries=25,
+                          check_invariants=True)
+    for name, payload in result.dynamics["per_strategy"].items():
+        assert payload["failure"]["throughput"] > 0, (figure, name)
+
+
+@pytest.mark.conformance
+def test_rescale_and_churn_survive_invariants():
+    result = run_dynamics("8a", scenarios=("rescale", "churn"),
+                          cardinality=4000, num_sites=16, grow_to=32,
+                          multiprogramming_level=4, measured_queries=25,
+                          check_invariants=True)
+    for name, payload in result.dynamics["per_strategy"].items():
+        assert payload["rescale"]["throughput_after"] > 0, name
+        assert payload["churn"]["throughput"] > 0, name
+
+
+def _leaky_settle_failed(self, handle):
+    """A plausible-looking but WRONG settle: it finishes the query for
+    the caller *and* re-dispatches the retry, resurrecting the handle.
+    When the retried work completes, the query terminates a second
+    time -- the exactly-once termination invariant must catch it."""
+    faults = self.faults
+    recovered = [s for s in handle.failed_sites if not faults.is_down(s)]
+    handle.degraded = True
+    self._finish(handle)
+    if recovered and handle.retry_ctx is not None and not handle.retried:
+        handle.retried = True
+        self._queries[handle.query_id] = handle  # the leak
+        handle.failed_sites = []
+        handle.pending_done = len(recovered)
+        self.env.process(self._retry_selects(handle, recovered))
+
+
+def test_invariant_checker_catches_leaky_retry(monkeypatch):
+    monkeypatch.setattr(QueryScheduler, "_settle_failed",
+                        _leaky_settle_failed)
+    # Detection outlasts the outage, so every abort settles against a
+    # recovered site and the (buggy) retry path always fires.
+    plan = FaultPlan(failures=(SiteFailure(site=2, at=0.05,
+                                           recover_at=0.15),),
+                     detection_seconds=0.2)
+    relation = make_wisconsin(2000, seed=5)
+    placement = RangeStrategy("unique1").partition(relation, 8)
+    machine = GammaMachine(placement, indexes=INDEXES,
+                           params=GAMMA_PARAMETERS, seed=5,
+                           fault_plan=plan, invariants=InvariantChecker())
+    mix = make_mix("low-low", domain=2000)
+    with pytest.raises(InvariantViolation, match="terminated twice"):
+        machine.run(mix, 4, measured_queries=60)

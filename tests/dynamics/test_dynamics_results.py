@@ -1,0 +1,47 @@
+"""The results-v2 ``dynamics`` key: presence, replayability, and
+backward compatibility with older files."""
+
+import pytest
+
+from repro.dynamics import FaultPlan, run_dynamics
+from repro.experiments.results_io import figure_from_dict, figure_to_dict
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return run_dynamics("8a", strategies=("range",),
+                        scenarios=("failure",), cardinality=2000,
+                        num_sites=8, multiprogramming_level=4,
+                        measured_queries=25)
+
+
+def test_dynamics_key_round_trips(tiny_result):
+    payload = figure_to_dict(tiny_result)
+    assert "dynamics" in payload
+    loaded = figure_from_dict(payload)
+    assert loaded.dynamics == tiny_result.dynamics
+
+
+def test_fault_seed_and_plan_are_replayable(tiny_result):
+    payload = figure_to_dict(tiny_result)
+    failure = payload["dynamics"]["per_strategy"]["range"]["failure"]
+    assert failure["fault_seed"] == payload["dynamics"]["fault_seed"]
+    plan = FaultPlan.from_json_dict(failure["fault_plan"])
+    assert plan.seed == failure["fault_seed"]
+    assert len(plan.failures) == 1
+    assert 0 <= plan.failures[0].site < 8
+
+
+def test_older_files_without_dynamics_still_load(tiny_result):
+    payload = figure_to_dict(tiny_result)
+    del payload["dynamics"]
+    loaded = figure_from_dict(payload)
+    assert loaded.dynamics is None
+    assert loaded.series["range"][0].throughput == \
+        tiny_result.series["range"][0].throughput
+
+
+def test_latency_payload_rides_along(tiny_result):
+    """The fault run's sketches land next to the baseline's."""
+    assert tiny_result.latency is not None
+    assert set(tiny_result.latency["points"]) == {"range", "range+fault"}

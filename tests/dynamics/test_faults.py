@@ -1,0 +1,125 @@
+"""Fault plans, the fault controller, and machine runs under failure."""
+
+import pytest
+
+from repro.core import RangeStrategy
+from repro.des import Environment
+from repro.dynamics import FaultController, FaultPlan, SiteFailure
+from repro.gamma import GAMMA_PARAMETERS, GammaMachine
+from repro.gamma.messages import OperatorAbort, SelectRequest
+from repro.storage import make_wisconsin
+from repro.validation.invariants import InvariantChecker
+from repro.workload import make_mix
+
+INDEXES = {"unique1": False, "unique2": True}
+
+
+class TestFaultPlan:
+    def test_seeded_is_deterministic(self):
+        a = FaultPlan.seeded(7, 32, failures=3, fail_at=1.0, spread=0.5)
+        b = FaultPlan.seeded(7, 32, failures=3, fail_at=1.0, spread=0.5)
+        assert a == b
+        c = FaultPlan.seeded(8, 32, failures=3, fail_at=1.0, spread=0.5)
+        assert a != c
+
+    def test_seeded_victims_are_distinct_and_in_range(self):
+        plan = FaultPlan.seeded(3, 16, failures=5)
+        sites = [f.site for f in plan.failures]
+        assert len(set(sites)) == 5
+        assert all(0 <= s < 16 for s in sites)
+
+    def test_recovery_must_follow_failure(self):
+        with pytest.raises(ValueError):
+            SiteFailure(site=0, at=1.0, recover_at=1.0)
+        with pytest.raises(ValueError):
+            SiteFailure(site=0, at=1.0, recover_at=0.5)
+
+    def test_json_round_trip(self):
+        plan = FaultPlan.seeded(11, 32, failures=2, fail_at=2.0,
+                                recovery_seconds=0.5)
+        assert FaultPlan.from_json_dict(plan.to_json_dict()) == plan
+
+    def test_round_trip_without_recovery(self):
+        plan = FaultPlan.seeded(11, 32, fail_at=2.0)
+        assert plan.failures[0].recover_at is None
+        assert FaultPlan.from_json_dict(plan.to_json_dict()) == plan
+
+
+class TestFaultController:
+    def test_timeline_flips_sites_down_and_up(self):
+        env = Environment()
+        plan = FaultPlan(failures=(SiteFailure(site=3, at=1.0,
+                                               recover_at=2.0),))
+        controller = FaultController(env, plan)
+        controller.start()
+        observed = []
+
+        def sampler(env):
+            yield env.timeout(1.5)
+            observed.append(controller.is_down(3))
+            yield env.timeout(1.0)
+            observed.append(controller.is_down(3))
+
+        env.process(sampler(env))
+        env.run()
+        assert observed == [True, False]
+        assert controller.stats()["failures_injected"] == 1
+        assert controller.stats()["recoveries"] == 1
+
+    def test_abort_notice_reaches_scheduler_after_detection(self):
+        env = Environment()
+        plan = FaultPlan(failures=(SiteFailure(site=1, at=0.0),),
+                         detection_seconds=0.25)
+        controller = FaultController(env, plan)
+        inbox = []
+        controller.bind_scheduler(inbox.append)
+        controller.start()
+        request = SelectRequest(query_id=42, site=1, relation="R",
+                                attribute="unique1", clustered_index=True,
+                                matches=1, reply_to=0)
+        controller.abort_request(request, 1)
+        env.run()
+        assert env.now == pytest.approx(0.25)
+        assert inbox == [OperatorAbort(query_id=42, site=1, kind="select")]
+        assert controller.aborts_sent == 1
+
+
+class TestMachineUnderFailure:
+    def _machine(self, plan, num_sites=8, cardinality=2000):
+        relation = make_wisconsin(cardinality, seed=5)
+        placement = RangeStrategy("unique1").partition(relation, num_sites)
+        return GammaMachine(placement, indexes=INDEXES,
+                            params=GAMMA_PARAMETERS, seed=5,
+                            fault_plan=plan,
+                            invariants=InvariantChecker())
+
+    def test_permanent_failure_degrades_but_completes(self):
+        plan = FaultPlan(failures=(SiteFailure(site=2, at=0.05),))
+        machine = self._machine(plan)
+        mix = make_mix("low-low", domain=2000)
+        result = machine.run(mix, 4, measured_queries=40)
+        assert result.completed >= 40
+        stats = machine.faults.stats()
+        assert stats["failures_injected"] == 1
+        assert stats["aborts_sent"] > 0
+        assert stats["degraded_queries"] > 0
+        assert stats["retries"] == 0  # nothing to retry: never recovers
+
+    def test_recovery_enables_retries(self):
+        # Detection is slower than the outage, so every abort settles
+        # after the site is back up: the retry path must fire.
+        plan = FaultPlan(failures=(SiteFailure(site=2, at=0.05,
+                                               recover_at=0.15),),
+                         detection_seconds=0.2)
+        machine = self._machine(plan)
+        mix = make_mix("low-low", domain=2000)
+        result = machine.run(mix, 4, measured_queries=40)
+        assert result.completed >= 40
+        assert machine.faults.retries > 0
+
+    def test_static_run_has_no_fault_controller(self):
+        relation = make_wisconsin(500, seed=5)
+        placement = RangeStrategy("unique1").partition(relation, 4)
+        machine = GammaMachine(placement, indexes=INDEXES,
+                               params=GAMMA_PARAMETERS, seed=5)
+        assert machine.faults is None

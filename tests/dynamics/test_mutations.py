@@ -1,0 +1,162 @@
+"""Online inserts and live grid-directory maintenance."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import MagicStrategy, MagicTuning
+from repro.dynamics import MutationSource, OnlineGridMaintainer
+from repro.storage import make_wisconsin
+from repro.workload import make_mix
+
+ATTRS = ("unique1", "unique2")
+
+
+def magic_placement(cardinality=2000, num_sites=8, shape=8, seed=3):
+    relation = make_wisconsin(cardinality, seed=seed)
+    strategy = MagicStrategy(
+        ATTRS, tuning=MagicTuning(shape={a: shape for a in ATTRS},
+                                  mi={a: 4.0 for a in ATTRS}))
+    return strategy.partition(relation, num_sites)
+
+
+class TestMutationSource:
+    def test_rejects_bad_parameters(self):
+        mix = make_mix("low-low", domain=100)
+        with pytest.raises(ValueError):
+            MutationSource(mix, -0.1, attributes=ATTRS, domain=100)
+        with pytest.raises(ValueError):
+            MutationSource(mix, 1.5, attributes=ATTRS, domain=100)
+        with pytest.raises(ValueError):
+            MutationSource(mix, 0.5, attributes=ATTRS, domain=0)
+        with pytest.raises(ValueError):
+            MutationSource(mix, 0.5, attributes=(), domain=100)
+        with pytest.raises(ValueError):
+            MutationSource(mix, 0.5, attributes=ATTRS, domain=100,
+                           hot_span=0.0)
+
+    def test_fraction_zero_is_the_base_mix(self):
+        mix = make_mix("low-low", domain=100)
+        source = MutationSource(mix, 0.0, attributes=ATTRS, domain=100)
+        rng = random.Random(1)
+        for _ in range(50):
+            query_type, relation, predicate = source(rng)
+            assert query_type in ("QA", "QB")
+        assert source.inserts_issued == 0
+
+    def test_fraction_one_is_all_inserts(self):
+        mix = make_mix("low-low", domain=100)
+        source = MutationSource(mix, 1.0, attributes=ATTRS, domain=100)
+        rng = random.Random(1)
+        for _ in range(50):
+            query_type, relation, values = source(rng)
+            assert query_type == "INSERT"
+            assert relation == "R"
+            assert set(values) == set(ATTRS)
+            assert all(0 <= v < 100 for v in values.values())
+        assert source.inserts_issued == 50
+
+    def test_hot_span_concentrates_inserts(self):
+        mix = make_mix("low-low", domain=10_000)
+        source = MutationSource(mix, 1.0, attributes=ATTRS, domain=10_000,
+                                hot_span=0.01)
+        rng = random.Random(2)
+        for _ in range(100):
+            _, _, values = source(rng)
+            assert all(v < 100 for v in values.values())
+
+    def test_notifies_the_maintainer(self):
+        placement = magic_placement()
+        maintainer = OnlineGridMaintainer(placement, capacity=10**9)
+        mix = make_mix("low-low", domain=2000)
+        source = MutationSource(mix, 1.0, attributes=ATTRS, domain=2000,
+                                maintainer=maintainer)
+        rng = random.Random(3)
+        for _ in range(20):
+            source(rng)
+        assert maintainer.inserts_seen == 20
+
+
+class TestOnlineGridMaintainer:
+    def test_initial_counts_match_the_directory(self):
+        placement = magic_placement()
+        maintainer = OnlineGridMaintainer(placement)
+        assert int(maintainer._counts.sum()) == placement.relation.cardinality
+
+    def test_overflow_triggers_a_split(self):
+        placement = magic_placement()
+        old_shape = tuple(placement.directory.shape)
+        old_directory = placement.directory
+        maintainer = OnlineGridMaintainer(
+            placement, capacity=int(old_directory.counts.max()) + 2)
+        # Hammer one grid cell until it overflows.
+        for _ in range(200):
+            maintainer.note_insert({"unique1": 1, "unique2": 1})
+            if maintainer.splits_performed:
+                break
+        assert maintainer.splits_performed >= 1
+        new_directory = placement.directory
+        assert new_directory is not old_directory
+        assert sum(new_directory.shape) == sum(old_shape) + \
+            maintainer.splits_performed
+
+    def test_split_preserves_total_population(self):
+        placement = magic_placement()
+        maintainer = OnlineGridMaintainer(
+            placement, capacity=int(placement.directory.counts.max()) + 2)
+        inserts = 0
+        while maintainer.splits_performed < 2:
+            maintainer.note_insert({"unique1": 2, "unique2": 2})
+            inserts += 1
+            assert inserts < 1000, "splits never triggered"
+        expected = placement.relation.cardinality + inserts
+        assert int(maintainer._counts.sum()) == expected
+        assert int(placement.directory.counts.sum()) == expected
+
+    def test_split_moves_no_tuples(self):
+        """A directory split refines routing only; assignments persist."""
+        placement = magic_placement()
+        before = {s.site: len(s.rows) for s in placement.fragments}
+        maintainer = OnlineGridMaintainer(
+            placement, capacity=int(placement.directory.counts.max()) + 2)
+        while maintainer.splits_performed < 1:
+            maintainer.note_insert({"unique1": 3, "unique2": 3})
+        after = {s.site: len(s.rows) for s in placement.fragments}
+        assert before == after
+
+    def test_routing_still_resolves_after_splits(self):
+        placement = magic_placement()
+        maintainer = OnlineGridMaintainer(
+            placement, capacity=int(placement.directory.counts.max()) + 2)
+        while maintainer.splits_performed < 2:
+            maintainer.note_insert({"unique1": 4, "unique2": 4})
+        for value in (0, 500, 1999):
+            site = placement.site_for_tuple({"unique1": value,
+                                             "unique2": value})
+            assert 0 <= site < placement.num_sites
+
+    def test_new_slice_inherits_parent_assignment(self):
+        placement = magic_placement()
+        old_assignment = placement.directory.assignment.copy()
+        maintainer = OnlineGridMaintainer(
+            placement, capacity=int(placement.directory.counts.max()) + 2)
+        while maintainer.splits_performed < 1:
+            maintainer.note_insert({"unique1": 5, "unique2": 5})
+        new_assignment = placement.directory.assignment
+        # The split duplicated one row or column of the assignment, so
+        # the set of (site, count-of-entries-mod-duplication) is intact:
+        # every site owning entries before still owns entries after.
+        assert set(np.unique(new_assignment)) == set(
+            np.unique(old_assignment))
+
+    def test_missing_attribute_raises(self):
+        placement = magic_placement()
+        maintainer = OnlineGridMaintainer(placement)
+        with pytest.raises(KeyError):
+            maintainer.note_insert({"unique1": 1})
+
+    def test_capacity_validation(self):
+        placement = magic_placement()
+        with pytest.raises(ValueError):
+            OnlineGridMaintainer(placement, capacity=1)

@@ -1,0 +1,125 @@
+"""Unit tests for the elastic rescalers and their reports."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BerdStrategy,
+    HashStrategy,
+    MagicStrategy,
+    MagicTuning,
+    RangePredicate,
+    RangeStrategy,
+)
+from repro.dynamics import RescaleReport, rescale_placement
+from repro.dynamics.rescale import placement_sites
+from repro.storage import make_wisconsin
+
+ATTR_A = "unique1"
+ATTR_B = "unique2"
+
+
+def build(name: str):
+    if name == "range":
+        return RangeStrategy(ATTR_A)
+    if name == "hash":
+        return HashStrategy(ATTR_A)
+    if name == "berd":
+        return BerdStrategy(ATTR_A, [ATTR_B])
+    return MagicStrategy(
+        (ATTR_A, ATTR_B),
+        tuning=MagicTuning(shape={ATTR_A: 62, ATTR_B: 61},
+                           mi={ATTR_A: 8.0, ATTR_B: 8.0}))
+
+
+class TestRescaleReport:
+    def test_json_round_trip(self):
+        report = RescaleReport(strategy="range", style="split",
+                               old_sites=32, new_sites=64,
+                               total_tuples=1000, tuples_moved=400,
+                               movement_bound=500)
+        assert RescaleReport.from_json_dict(report.to_json_dict()) == report
+
+    def test_bound_violation_refused_at_construction(self):
+        with pytest.raises(AssertionError):
+            RescaleReport(strategy="range", style="split",
+                          old_sites=32, new_sites=64,
+                          total_tuples=1000, tuples_moved=600,
+                          movement_bound=500)
+
+    def test_fractions(self):
+        report = RescaleReport(strategy="hash", style="linear-hash",
+                               old_sites=4, new_sites=8,
+                               total_tuples=100, tuples_moved=50,
+                               movement_bound=100)
+        assert report.moved_fraction == pytest.approx(0.5)
+        assert report.naive_fraction == pytest.approx(1 - 1 / 8)
+
+
+class TestRescaleErrors:
+    def test_shrink_is_rejected(self):
+        placement = build("range").partition(make_wisconsin(500, seed=1), 8)
+        with pytest.raises(ValueError):
+            rescale_placement(placement, 8)
+        with pytest.raises(ValueError):
+            rescale_placement(placement, 4)
+
+    def test_hash_growth_capped_at_double(self):
+        placement = build("hash").partition(make_wisconsin(500, seed=1), 8)
+        with pytest.raises(ValueError):
+            rescale_placement(placement, 17)
+
+    def test_chained_hash_rescale_unsupported(self):
+        placement = build("hash").partition(make_wisconsin(500, seed=1), 8)
+        rescaled, _ = rescale_placement(placement, 16)
+        with pytest.raises(NotImplementedError):
+            rescale_placement(rescaled, 32)
+
+    def test_chained_range_rescale_works(self):
+        placement = build("range").partition(make_wisconsin(2000, seed=1), 8)
+        once, _ = rescale_placement(placement, 12)
+        twice, report = rescale_placement(once, 16)
+        assert twice.num_sites == 16
+        sites = placement_sites(twice)
+        assert set(int(s) for s in np.unique(sites)) == set(range(16))
+        assert report.tuples_moved <= report.movement_bound
+
+
+@pytest.mark.parametrize("name", ["range", "hash", "berd", "magic"])
+class TestDoublingAcceptance:
+    """The ISSUE acceptance bar: 32 -> 64 moves at most 55% of tuples."""
+
+    def test_doubling_moves_at_most_55_percent(self, name):
+        relation = make_wisconsin(8000, seed=13)
+        placement = build(name).partition(relation, 32)
+        rescaled, report = rescale_placement(placement, 64)
+        assert report.old_sites == 32 and report.new_sites == 64
+        assert report.moved_fraction <= 0.55
+        assert report.tuples_moved <= report.movement_bound
+        # Every new site actually receives data.
+        sites = placement_sites(rescaled)
+        assert len(np.unique(sites)) == 64
+
+    def test_point_routing_after_doubling(self, name):
+        relation = make_wisconsin(4000, seed=13)
+        placement = build(name).partition(relation, 32)
+        rescaled, _ = rescale_placement(placement, 64)
+        values = relation.column(ATTR_A)
+        for row in range(0, 4000, 400):
+            value = int(values[row])
+            owner = rescaled.site_for_tuple({ATTR_A: value, ATTR_B: value})
+            decision = rescaled.route(RangePredicate(ATTR_A, value, value))
+            assert owner in decision.target_sites
+
+
+class TestBerdSecondaryAfterRescale:
+    def test_aux_routing_points_at_true_homes(self):
+        relation = make_wisconsin(3000, seed=2)
+        placement = build("berd").partition(relation, 8)
+        rescaled, _ = rescale_placement(placement, 16)
+        sites = placement_sites(rescaled)
+        b_values = relation.column(ATTR_B)
+        for row in range(0, 3000, 300):
+            value = int(b_values[row])
+            decision = rescaled.route(RangePredicate(ATTR_B, value, value))
+            assert int(sites[row]) in decision.target_sites

@@ -35,6 +35,56 @@ class TestBufferPoolUnit:
             pool.access(i)
         assert len(pool) == 3
 
+    def test_capacity_one_thrashes_but_never_overfills(self):
+        """The degenerate single-frame pool: every distinct access
+        evicts the previous page, and re-access of the same page hits."""
+        pool = BufferPool(1)
+        assert not pool.access("a")
+        assert pool.access("a")          # still resident
+        assert not pool.access("b")      # evicts a
+        assert not pool.contains("a")
+        assert len(pool) == 1
+        assert pool.evictions == 1
+        assert pool.access("b")
+        assert pool.hits == 2 and pool.misses == 2
+
+    def test_capacity_one_rejected_below_one(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+        with pytest.raises(ValueError):
+            BufferPool(-3)
+
+    def test_admit_while_full_evicts_exactly_one(self):
+        """Admission into a full pool is an atomic swap: one eviction
+        per admission, residency never exceeds capacity."""
+        pool = BufferPool(3)
+        for page in ("a", "b", "c"):
+            pool.access(page)
+        assert len(pool) == 3 and pool.evictions == 0
+        for i, page in enumerate(("d", "e", "f", "g"), start=1):
+            pool.access(page)
+            assert len(pool) == 3
+            assert pool.evictions == i
+        # Lifetime ledger stays conserved through the churn.
+        assert pool.admitted_total - pool.evicted_total == len(pool)
+
+    def test_admit_while_full_evicts_the_lru_not_the_mru(self):
+        pool = BufferPool(2)
+        pool.access("old")
+        pool.access("new")
+        pool.access("incoming")          # full: must evict "old"
+        assert pool.contains("new")
+        assert pool.contains("incoming")
+        assert not pool.contains("old")
+
+    def test_hit_on_full_pool_does_not_evict(self):
+        pool = BufferPool(2)
+        pool.access("a")
+        pool.access("b")
+        assert pool.access("a")          # hit while full
+        assert pool.evictions == 0
+        assert len(pool) == 2
+
     def test_contains_does_not_touch(self):
         pool = BufferPool(2)
         pool.access("a")

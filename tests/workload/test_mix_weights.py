@@ -1,0 +1,80 @@
+"""Weight handling in QueryMix / CompositeSource.
+
+``random.Random.choices`` normalizes weights internally, so mixes only
+need *relative* frequencies -- these tests pin that contract: scaled
+weights sample identically, and invalid weights are rejected up front
+rather than surfacing as silent bias.
+"""
+
+import random
+
+import pytest
+
+from repro.workload.mixes import CompositeSource, QueryMix, make_mix
+from repro.workload.queries import qa_low, qb_low
+
+
+def _mix_with_frequencies(frequencies):
+    return QueryMix(name="t", relation="R",
+                    specs=(qa_low(1000), qb_low(1000)),
+                    frequencies=frequencies)
+
+
+class TestQueryMixWeights:
+    def test_rejects_zero_and_negative_frequencies(self):
+        with pytest.raises(ValueError):
+            _mix_with_frequencies((0.5, 0.0))
+        with pytest.raises(ValueError):
+            _mix_with_frequencies((0.5, -1.0))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            _mix_with_frequencies((1.0,))
+
+    def test_rejects_empty_mix(self):
+        with pytest.raises(ValueError):
+            QueryMix(name="t", relation="R", specs=(), frequencies=())
+
+    def test_scaled_frequencies_sample_identically(self):
+        """(1, 1) and (50, 50) are the same mix: only ratios matter."""
+        unit = _mix_with_frequencies((1.0, 1.0))
+        scaled = _mix_with_frequencies((50.0, 50.0))
+        rng_a, rng_b = random.Random(9), random.Random(9)
+        for _ in range(200):
+            assert unit.sample_spec(rng_a).name == \
+                scaled.sample_spec(rng_b).name
+
+    def test_even_frequencies_are_roughly_balanced(self):
+        mix = make_mix("low-low", domain=1000)
+        assert mix.frequencies == (0.5, 0.5)
+        rng = random.Random(4)
+        names = [mix.sample_spec(rng).name for _ in range(2000)]
+        qa = names.count("QA")
+        assert 800 < qa < 1200  # ~50% with generous slack
+
+    def test_skewed_frequencies_shift_the_draw(self):
+        mix = _mix_with_frequencies((9.0, 1.0))
+        rng = random.Random(4)
+        names = [mix.sample_spec(rng).name for _ in range(2000)]
+        assert names.count("QA") > 1600  # ~90%
+
+
+class TestCompositeSourceWeights:
+    def test_rejects_bad_weights(self):
+        mix = make_mix("low-low", domain=1000)
+        with pytest.raises(ValueError):
+            CompositeSource(sources=(mix,), weights=(0.0,))
+        with pytest.raises(ValueError):
+            CompositeSource(sources=(mix,), weights=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            CompositeSource(sources=(), weights=())
+
+    def test_weighted_selection_between_relations(self):
+        left = make_mix("low-low", relation="L", domain=1000)
+        right = make_mix("low-low", relation="S", domain=1000)
+        source = CompositeSource(sources=(left, right),
+                                 weights=(3.0, 1.0))
+        rng = random.Random(6)
+        relations = [source(rng)[1] for _ in range(2000)]
+        assert relations.count("L") > 1300  # ~75%
+        assert relations.count("S") > 300
