@@ -43,6 +43,8 @@ from .executor import (
     ExecutionOutcome,
     ParallelExecutor,
     SerialExecutor,
+    WorkerCrash,
+    default_start_method,
     make_executor,
 )
 from .plan import (
@@ -55,6 +57,7 @@ from .plan import (
     compile_point,
     execute_run,
     params_fingerprint,
+    prewarm,
 )
 from .report import (
     average_processors_table,
@@ -101,7 +104,10 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "ExecutionOutcome",
+    "WorkerCrash",
+    "default_start_method",
     "make_executor",
+    "prewarm",
     "ResultCache",
     "FigureResult",
     "PAPER_INDEXES",

@@ -72,7 +72,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for figure/sweep/explain "
                              "grids (default: 1 = serial; results are "
-                             "bit-identical at any N)")
+                             "bit-identical at any N).  The parent "
+                             "prewarms every relation/placement the "
+                             "plan needs, then forks a warm pool that "
+                             "inherits them copy-on-write")
+    parser.add_argument("--start-method",
+                        choices=("fork", "spawn", "forkserver"),
+                        help="multiprocessing start method for --jobs "
+                             "(default: fork where available, which "
+                             "shares the prewarmed memos with workers "
+                             "for free; spawn/forkserver prewarm once "
+                             "per worker instead; results are "
+                             "bit-identical across methods)")
     parser.add_argument("--cache", metavar="DIR",
                         help="content-addressed result cache: completed "
                              "(strategy, MPL, seed, ...) points are loaded "
@@ -293,7 +304,8 @@ def _run_figures_inner(names, args, blocks, mpls, measured, cache,
             config, cardinality=args.cardinality,
             num_sites=args.num_sites,
             measured_queries=measured, mpls=mpls, seed=args.seed,
-            jobs=args.jobs, cache=cache, telemetry_spec=telemetry_spec,
+            jobs=args.jobs, start_method=args.start_method,
+            cache=cache, telemetry_spec=telemetry_spec,
             check_invariants=args.check_invariants,
             progress=progress, collect_phases=not args.no_phases)
         if args.audit or args.audit_out:

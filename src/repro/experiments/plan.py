@@ -57,6 +57,7 @@ __all__ = [
     "compile_point",
     "execute_run",
     "placement_for_spec",
+    "prewarm",
     "clear_memos",
 ]
 
@@ -256,12 +257,24 @@ def clear_memos() -> None:
     _placement_memo.clear()
 
 
+def _evict_oldest(memo: Dict, cap: int) -> None:
+    """Make room for one more entry by dropping the oldest-inserted.
+
+    Python dicts iterate in insertion order, so ``next(iter(memo))`` is
+    the entry that has been resident longest.  Clearing the whole dict
+    here (the previous behavior) made a sweep that cycles through
+    ``cap + 1`` keys rebuild *every* entry on *every* lap; FIFO
+    eviction keeps the ``cap - 1`` most recent entries live.
+    """
+    while len(memo) >= cap:
+        memo.pop(next(iter(memo)))
+
+
 def _relation_for(spec: RunSpec):
     key = spec.relation_key()
     relation = _relation_memo.get(key)
     if relation is None:
-        if len(_relation_memo) >= _MAX_RELATIONS:
-            _relation_memo.clear()
+        _evict_oldest(_relation_memo, _MAX_RELATIONS)
         # Memo hits deliberately record no phase: a 0-cost lookup would
         # only pad the relation-build entry count with noise.
         with phases.phase("relation-build"):
@@ -277,8 +290,7 @@ def _placement_for(spec: RunSpec, params: SimulationParameters,
     key = spec.placement_key()
     placement = _placement_memo.get(key)
     if placement is None:
-        if len(_placement_memo) >= _MAX_PLACEMENTS:
-            _placement_memo.clear()
+        _evict_oldest(_placement_memo, _MAX_PLACEMENTS)
         if config is None:
             config = FIGURES[spec.figure]
         relation = _relation_for(spec)
@@ -303,6 +315,56 @@ def placement_for_spec(spec: RunSpec,
     re-reporting a cached run never touches the machine model.
     """
     return _placement_for(spec, params, config)
+
+
+def prewarm(runs, strict: bool = True) -> Dict[str, int]:
+    """Build every distinct relation/placement *runs* will need, once.
+
+    *runs* is a :class:`RunPlan` or any iterable of
+    :class:`PlannedRun`.  Specs are de-duplicated by
+    :meth:`RunSpec.relation_key` / :meth:`RunSpec.placement_key` (the
+    first planned run per key is the representative), and each missing
+    memo entry is built here -- with the usual ``relation-build`` /
+    ``placement-build`` phase attribution -- instead of lazily inside
+    :func:`execute_run`.
+
+    This is the warm half of the parallel executor's fork-shared pool:
+    the parent prewarms before forking workers, so every worker
+    inherits the populated memos copy-on-write and pays zero rebuild
+    cost per task.  Spawn-start pools call it from the per-worker
+    initializer instead (once per process, not once per task).
+
+    With ``strict=False`` individual build failures are swallowed and
+    counted: prewarming is an optimization, and a spec that cannot
+    build is left to fail inside a worker, where the failure is wrapped
+    with full spec/traceback context.
+
+    Returns counters: relations/placements built here, memo hits
+    skipped, and (non-strict only) builds that errored.
+    """
+    stats = {"relations_built": 0, "relations_hit": 0,
+             "placements_built": 0, "placements_hit": 0, "errors": 0}
+    seen_placements = set()
+    for planned in runs:
+        spec = planned.spec
+        key = spec.placement_key()
+        if key in seen_placements:
+            continue
+        seen_placements.add(key)
+        relation_hit = spec.relation_key() in _relation_memo
+        placement_hit = key in _placement_memo
+        try:
+            # _placement_for builds the relation on the way when needed,
+            # so one call covers both memos.
+            _placement_for(spec, planned.params)
+        except Exception:
+            if strict:
+                raise
+            stats["errors"] += 1
+            continue
+        stats["relations_hit" if relation_hit else "relations_built"] += 1
+        stats["placements_hit" if placement_hit else "placements_built"] += 1
+    return stats
 
 
 def execute_run(spec: RunSpec,

@@ -50,6 +50,7 @@ def figure_to_dict(result: FigureResult) -> Dict:
         "measured_queries": result.measured_queries,
         "wall_seconds": result.wall_seconds,
         "cpu_seconds": result.cpu_seconds,
+        "process_cpu_seconds": result.process_cpu_seconds,
         "executor": {
             "name": result.executor,
             "jobs": result.jobs,
@@ -97,6 +98,9 @@ def figure_from_dict(payload: Dict) -> FigureResult:
         measured_queries=payload["measured_queries"],
         wall_seconds=payload.get("wall_seconds", 0.0),
         cpu_seconds=payload.get("cpu_seconds", 0.0),
+        # Absent in files saved before the warm-pool executor; those
+        # runs did not measure per-run process CPU.
+        process_cpu_seconds=payload.get("process_cpu_seconds", 0.0),
         jobs=executor.get("jobs", 1),
         executor=executor.get("name", "serial"),
         executed_runs=executor.get("executed_runs", 0),

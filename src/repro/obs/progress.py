@@ -229,8 +229,10 @@ class ProgressTracker:
 
         Cached specs complete in effectively zero time, so only specs
         expected to simulate are priced -- at the mean wall of the
-        executed ones so far, divided by the worker count.  None until
-        at least one spec has actually simulated.
+        executed ones so far, divided by the worker count.  The tail of
+        a plan cannot use more workers than it has specs left (one spec
+        remaining runs on one worker however large the pool), hence the
+        ``min``.  None until at least one spec has actually simulated.
         """
         if self.executed == 0 or self.total == 0:
             return None
@@ -238,7 +240,7 @@ class ProgressTracker:
         if remaining <= 0:
             return 0.0
         mean_wall = self._executed_wall / self.executed
-        return remaining * mean_wall / self.jobs
+        return remaining * mean_wall / min(self.jobs, remaining)
 
 
 class NullProgress:

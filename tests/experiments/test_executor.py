@@ -7,8 +7,10 @@ because every seed derives from the RunSpec, never from worker state.
 
 import json
 import math
+import multiprocessing
 import os
 import pickle
+import time
 
 import pytest
 
@@ -17,13 +19,22 @@ from repro.experiments import (
     ParallelExecutor,
     ResultCache,
     SerialExecutor,
+    WorkerCrash,
     compile_figure,
     compile_point,
+    figure_from_dict,
     figure_to_dict,
     make_executor,
     run_experiment,
 )
-from repro.obs import Telemetry, TelemetrySpec
+from repro.experiments.executor import _chunk_pending
+from repro.obs import Telemetry, TelemetrySpec, phases
+
+#: Start methods worth exercising here: fork covers the copy-on-write
+#: memo path, spawn the per-worker initializer prewarm.  Filtered by
+#: platform so the suite ports (macOS/Windows default to spawn).
+START_METHODS = [method for method in ("fork", "spawn")
+                 if method in multiprocessing.get_all_start_methods()]
 
 #: The fig-8a smoke configuration the determinism guarantee is stated on.
 SMOKE = dict(cardinality=10_000, num_sites=4, measured_queries=30,
@@ -91,6 +102,144 @@ class TestParallelDeterminism:
             outcome.telemetry.spans.span_count()
 
 
+class TestStartMethods:
+    """The parallel contract holds under every start method we can pin.
+
+    Fork exercises parent prewarm + copy-on-write memo inheritance,
+    spawn the per-worker initializer prewarm -- so a Python-default
+    change (3.14 stops defaulting to fork on Linux) cannot silently
+    flip the executor onto an untested path.
+    """
+
+    KWARGS = dict(cardinality=8_000, num_sites=4, measured_queries=20,
+                  mpls=(1, 2), seed=5)
+
+    @pytest.fixture(scope="class")
+    def serial_payload(self):
+        return _series_payload(run_experiment(FIGURES["8a"], **self.KWARGS))
+
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_bit_identical_to_serial(self, start_method, serial_payload):
+        parallel = run_experiment(FIGURES["8a"], jobs=2,
+                                  start_method=start_method, **self.KWARGS)
+        assert _series_payload(parallel) == serial_payload
+        assert parallel.process_cpu_seconds > 0
+
+    def test_unavailable_start_method_rejected(self):
+        with pytest.raises(ValueError, match="unavailable"):
+            ParallelExecutor(2, start_method="no-such-method")
+
+    @pytest.mark.skipif("fork" not in START_METHODS,
+                        reason="fork unavailable on this platform")
+    def test_fork_workers_inherit_warm_memos(self):
+        """Under fork, every build happens in the parent prewarm --
+        worker phase snapshots must contain no build phases at all."""
+        from repro.experiments.plan import clear_memos
+        clear_memos()  # force the prewarm to build, not hit
+        plan = compile_figure(FIGURES["8a"], **self.KWARGS)
+        acc = phases.push(phases.PhaseAccumulator())
+        try:
+            outcomes = ParallelExecutor(
+                jobs=2, start_method="fork").execute(plan)
+        finally:
+            phases.pop(merge_into_parent=False)
+        assert len(outcomes) == 6
+        for outcome in outcomes:
+            totals = outcome.phases["totals"]
+            assert "relation-build" not in totals
+            assert "placement-build" not in totals
+            assert "simulate" in totals
+        # The figure-level accumulator saw the parent-side prewarm:
+        # one relation, one placement per strategy.
+        assert acc.totals["relation-build"][1] == 1
+        assert acc.totals["placement-build"][1] == 3
+
+
+class TestChunking:
+    """Unit contract of the deterministic chunked-dispatch planner."""
+
+    def _pending(self, mpls=(1, 2, 4, 8), strategies=None):
+        plan = compile_figure(FIGURES["8a"], cardinality=8_000, num_sites=4,
+                              measured_queries=10, mpls=mpls, seed=5,
+                              strategies=strategies)
+        return list(enumerate(plan))
+
+    def test_chunks_are_memo_local(self):
+        for chunk in _chunk_pending(self._pending(), jobs=2):
+            keys = {planned.spec.placement_key() for _, planned in chunk}
+            assert len(keys) == 1
+
+    def test_every_index_dispatched_exactly_once(self):
+        pending = self._pending()
+        chunks = _chunk_pending(pending, jobs=3)
+        dispatched = sorted(index for chunk in chunks
+                            for index, _ in chunk)
+        assert dispatched == [index for index, _ in pending]
+
+    def test_stragglers_first(self):
+        chunks = _chunk_pending(self._pending(), jobs=2)
+        max_mpls = [max(p.spec.multiprogramming_level for _, p in chunk)
+                    for chunk in chunks]
+        assert max_mpls == sorted(max_mpls, reverse=True)
+        # ... and within a chunk the longest run leads too.
+        for chunk in chunks:
+            mpls = [p.spec.multiprogramming_level for _, p in chunk]
+            assert mpls == sorted(mpls, reverse=True)
+
+    def test_enough_chunks_to_feed_the_pool(self):
+        pending = self._pending()
+        for jobs in (2, 4, 8):
+            chunks = _chunk_pending(pending, jobs)
+            assert len(chunks) >= min(jobs, len(pending))
+
+    def test_deterministic(self):
+        pending = self._pending()
+        first = _chunk_pending(pending, jobs=4)
+        second = _chunk_pending(pending, jobs=4)
+        assert [[index for index, _ in chunk] for chunk in first] == \
+            [[index for index, _ in chunk] for chunk in second]
+
+    def test_single_spec_plan(self):
+        pending = self._pending(mpls=(2,), strategies=("range",))
+        assert _chunk_pending(pending, jobs=4) == [pending]
+
+
+@pytest.mark.skipif("fork" not in START_METHODS,
+                    reason="test patches the parent and relies on fork "
+                           "inheritance to ship the patch to workers")
+class TestCrashContainment:
+    def test_first_crash_cancels_pending_chunks(self, tmp_path, monkeypatch):
+        """Crash on the first-dispatched spec of a 12-point plan: the
+        parent must cancel not-yet-started chunks instead of simulating
+        the remaining 11 points to completion first."""
+        mpls = tuple(range(1, 13))
+        plan = compile_figure(FIGURES["8a"], cardinality=8_000, num_sites=4,
+                              measured_queries=10, mpls=mpls, seed=5,
+                              strategies=("range",))
+        marker_dir = str(tmp_path)
+        crash_mpl = max(mpls)  # heads the first-submitted chunk
+
+        def fake_run_one(planned, telemetry, check_invariants=False):
+            mpl = planned.spec.multiprogramming_level
+            if mpl == crash_mpl:
+                raise RuntimeError("injected crash")
+            time.sleep(0.2)
+            open(os.path.join(marker_dir, f"ran-{mpl}"), "w").close()
+            return "dummy-result", 0.2, 0.0
+
+        from repro.experiments import executor as executor_module
+        monkeypatch.setattr(executor_module, "_run_one", fake_run_one)
+        with pytest.raises(WorkerCrash, match="injected crash") as err:
+            ParallelExecutor(jobs=2, start_method="fork").execute(plan)
+        # The crash report names the offending spec.
+        assert "mpl 12" in str(err.value)
+        assert "strategy 'range'" in str(err.value)
+        # 12 specs chunk into 4 chunks of 3 at jobs=2.  Without
+        # containment all 11 non-crashing specs run; with it, at most
+        # the chunks already in flight when the crash surfaced do.
+        assert len(os.listdir(marker_dir)) <= 9
+
+
 class TestWallAndCpuSeconds:
     def test_serial_accounting(self):
         result = run_experiment(FIGURES["8a"], **SMOKE)
@@ -99,12 +248,29 @@ class TestWallAndCpuSeconds:
         assert result.executed_runs == 6
         assert result.cached_runs == 0
 
+    def test_process_cpu_seconds_recorded_and_round_trips(self):
+        result = run_experiment(FIGURES["8a"], **SMOKE)
+        assert result.process_cpu_seconds > 0
+        payload = figure_to_dict(result)
+        assert payload["process_cpu_seconds"] == result.process_cpu_seconds
+        restored = figure_from_dict(json.loads(json.dumps(payload)))
+        assert restored.process_cpu_seconds == result.process_cpu_seconds
+
+    def test_pre_warm_pool_files_default_process_cpu(self):
+        result = run_experiment(FIGURES["8a"], mpls=(1,),
+                                strategies=("range",), cardinality=8_000,
+                                num_sites=4, measured_queries=10, seed=5)
+        payload = figure_to_dict(result)
+        del payload["process_cpu_seconds"]
+        assert figure_from_dict(payload).process_cpu_seconds == 0.0
+
     def test_jobs_echoed_into_saved_json(self):
         result = run_experiment(FIGURES["8a"], jobs=2, **SMOKE)
         payload = figure_to_dict(result)
         assert payload["executor"]["jobs"] == 2
         assert payload["executor"]["name"] == "process-pool"
         assert payload["cpu_seconds"] > 0
+        assert payload["process_cpu_seconds"] > 0
         assert payload["wall_seconds"] > 0
 
 

@@ -13,7 +13,7 @@ from repro.experiments import (
     execute_run,
     params_fingerprint,
 )
-from repro.experiments.plan import clear_memos
+from repro.experiments.plan import clear_memos, prewarm
 from repro.experiments.sweeps import run_point
 from repro.gamma import GAMMA_PARAMETERS
 
@@ -95,6 +95,117 @@ class TestCompile:
         planned = compile_point(FIGURES["8b"], "range",
                                 multiprogramming_level=1)
         assert planned.spec.correlation == "high"
+
+
+class TestMemoEviction:
+    """The memos evict oldest-first instead of dropping everything."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_memos(self):
+        clear_memos()
+        yield
+        clear_memos()
+
+    def test_relation_memo_keeps_recent_entries(self, monkeypatch):
+        from repro.experiments import plan
+
+        builds = []
+        real_make = plan.make_wisconsin
+
+        def counting_make(cardinality, correlation, seed):
+            builds.append(seed)
+            return real_make(cardinality, correlation=correlation,
+                             seed=seed)
+
+        monkeypatch.setattr(plan, "make_wisconsin", counting_make)
+        monkeypatch.setattr(plan, "_MAX_RELATIONS", 4)
+
+        def relation(seed):
+            return plan._relation_for(_spec(cardinality=2_000, seed=seed))
+
+        for seed in range(5):
+            relation(seed)
+        # Cap 4: inserting seed 4 evicted only seed 0, the oldest.
+        assert builds == [0, 1, 2, 3, 4]
+        for seed in (4, 3, 2, 1):
+            relation(seed)
+        # All four recent entries were still memoized.  The old
+        # clear-the-dict eviction would have rebuilt 3, 2 and 1 here.
+        assert builds == [0, 1, 2, 3, 4]
+        relation(0)
+        assert builds == [0, 1, 2, 3, 4, 0]
+
+    def test_placement_memo_evicts_oldest_only(self, monkeypatch):
+        from repro.experiments import plan
+
+        built = []
+        real_build = plan.build_strategy
+
+        def counting_build(name, config, cardinality, params):
+            built.append(name)
+            return real_build(name, config, cardinality, params)
+
+        monkeypatch.setattr(plan, "build_strategy", counting_build)
+        monkeypatch.setattr(plan, "_MAX_PLACEMENTS", 2)
+
+        def placement(strategy):
+            spec = _spec(cardinality=2_000, strategy=strategy)
+            return plan._placement_for(spec, GAMMA_PARAMETERS)
+
+        for strategy in ("range", "berd", "magic"):
+            placement(strategy)
+        assert built == ["range", "berd", "magic"]
+        # berd was evicted to make room for magic; magic is still live.
+        placement("magic")
+        assert built == ["range", "berd", "magic"]
+        placement("range")
+        assert built == ["range", "berd", "magic", "range"]
+
+
+class TestPrewarm:
+    @pytest.fixture(autouse=True)
+    def _fresh_memos(self):
+        clear_memos()
+        yield
+        clear_memos()
+
+    def _plan(self):
+        return compile_figure(FIGURES["8a"], cardinality=2_000,
+                              num_sites=4, measured_queries=10,
+                              mpls=(1, 2), seed=5)
+
+    def test_builds_each_distinct_artifact_once(self):
+        stats = prewarm(self._plan())
+        # 3 strategies x 2 MPLs share one relation; the relation memo
+        # is hit while building the 2nd and 3rd strategies' placements.
+        assert stats == {"relations_built": 1, "relations_hit": 2,
+                         "placements_built": 3, "placements_hit": 0,
+                         "errors": 0}
+
+    def test_second_prewarm_is_all_hits(self):
+        prewarm(self._plan())
+        stats = prewarm(self._plan())
+        assert stats == {"relations_built": 0, "relations_hit": 3,
+                         "placements_built": 0, "placements_hit": 3,
+                         "errors": 0}
+
+    def test_strict_raises_on_unbuildable_spec(self):
+        import dataclasses
+        bad = PlannedRun(spec=dataclasses.replace(
+            _spec(cardinality=2_000), strategy="no-such-strategy"))
+        with pytest.raises(ValueError):
+            prewarm([bad])
+
+    def test_non_strict_counts_errors(self):
+        import dataclasses
+        bad = PlannedRun(spec=dataclasses.replace(
+            _spec(cardinality=2_000), strategy="no-such-strategy"))
+        good = compile_point(FIGURES["8a"], "range", cardinality=2_000,
+                             num_sites=4, measured_queries=10,
+                             multiprogramming_level=1, seed=5)
+        stats = prewarm([bad, good], strict=False)
+        assert stats["errors"] == 1
+        assert stats["placements_built"] == 1
 
 
 class TestExecuteRun:

@@ -128,6 +128,29 @@ class TestTrackerUnit:
         # Two specs remain, priced at the 2.0 s mean of executed ones.
         assert progress.eta_seconds() == pytest.approx(4.0)
 
+    def test_eta_tail_cannot_use_more_workers_than_specs(self):
+        """One spec left on a 4-worker pool still takes a full mean
+        wall -- the old ``/ jobs`` estimate claimed a quarter of it."""
+        progress = ProgressTracker(stream=io.StringIO(), mode="jsonl")
+        progress.plan_started(total=5, executor="process-pool", jobs=4)
+
+        class FakeSpec:
+            strategy = "range"
+            multiprogramming_level = 1
+
+            def digest(self):
+                return "f" * 64
+
+        for index in range(4):
+            progress.spec_finished(FakeSpec(), index, cached=False,
+                                   wall_seconds=2.0)
+        assert progress.eta_seconds() == pytest.approx(2.0)
+        # With plenty of specs left the pool-wide divisor still applies.
+        wide = ProgressTracker(stream=io.StringIO(), mode="jsonl")
+        wide.plan_started(total=9, executor="process-pool", jobs=4)
+        wide.spec_finished(FakeSpec(), 0, cached=False, wall_seconds=2.0)
+        assert wide.eta_seconds() == pytest.approx(8 * 2.0 / 4)
+
     def test_null_progress_accepts_everything(self):
         NULL_PROGRESS.plan_started(total=1, executor="serial", jobs=1)
         NULL_PROGRESS.heartbeat({})
